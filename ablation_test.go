@@ -1,0 +1,131 @@
+package repro
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/platform"
+	"repro/internal/sim"
+	"repro/internal/tf/tfdata"
+	"repro/internal/tf/tfio"
+	"repro/internal/workload"
+)
+
+// Ablation benchmarks quantify the design alternatives the paper's
+// discussion (§VII) raises: packing samples into TFRecord containers
+// versus per-file reads, and the effect of prefetch depth on the overlap
+// between input pipeline and accelerator.
+
+// BenchmarkAblationTFRecordVsFiles compares one pass over an ImageNet-like
+// small-file corpus read per-file (the paper's measured configuration)
+// against the same bytes packed into TFRecord shards ("One way to improve
+// bandwidth performance is to use data containers such as TFRecord").
+func BenchmarkAblationTFRecordVsFiles(b *testing.B) {
+	const nFiles = 2048
+	var perFileSec, shardSec float64
+	for i := 0; i < b.N; i++ {
+		m := platform.NewGreendog(platform.Options{})
+		paths := make([]string, nFiles)
+		for j := range paths {
+			paths[j] = fmt.Sprintf("%s/in/f%05d", platform.GreendogHDDPath, j)
+			if _, err := m.FS.CreateFile(paths[j], 88*1024); err != nil {
+				b.Fatal(err)
+			}
+		}
+		m.K.Spawn("bench", func(t *sim.Thread) {
+			t0 := t.Now()
+			for _, p := range paths {
+				if _, err := tfio.ReadFile(t, m.Env, p); err != nil {
+					b.Error(err)
+					return
+				}
+			}
+			perFileSec = sim.Seconds(t.Now() - t0)
+
+			shards, err := tfio.BuildTFRecordShards(t, m.Env, paths, platform.GreendogHDDPath+"/tfr", 64<<20)
+			if err != nil {
+				b.Error(err)
+				return
+			}
+			t0 = t.Now()
+			for _, s := range shards {
+				if _, err := tfio.ScanShard(t, m.Env, s); err != nil {
+					b.Error(err)
+					return
+				}
+			}
+			shardSec = sim.Seconds(t.Now() - t0)
+		})
+		if err := m.K.Run(); err != nil {
+			b.Fatal(err)
+		}
+	}
+	totalMB := float64(nFiles) * 88 * 1024 / 1e6
+	b.ReportMetric(totalMB/perFileSec, "perfile_MBps")
+	b.ReportMetric(totalMB/shardSec, "tfrecord_MBps")
+	b.ReportMetric(perFileSec/shardSec, "container_speedup_x")
+}
+
+// BenchmarkAblationPrefetchDepth sweeps the prefetch buffer depth with a
+// compute step sized to roughly match mean batch production time. The
+// measured effect is small and that is the finding: because map and batch
+// stages run on their own threads (as tf.data's parallel map does),
+// production overlaps training even with no prefetch buffer; the paper's
+// prefetch-10 is conservative insurance against production burstiness,
+// not the source of the overlap. In the paper's own configurations the
+// pipelines are so I/O-bound that depth matters even less.
+func BenchmarkAblationPrefetchDepth(b *testing.B) {
+	depths := []int{0, 1, 10}
+	walls := make([]float64, len(depths))
+	for i := 0; i < b.N; i++ {
+		for di, depth := range depths {
+			m := platform.NewGreendog(platform.Options{})
+			d, err := workload.BuildMalware(m.FS, workload.MalwareSpec(platform.GreendogHDDPath+"/mw", 0.02))
+			if err != nil {
+				b.Fatal(err)
+			}
+			m.K.Spawn("bench", func(t *sim.Thread) {
+				ds := tfdata.FromFiles(m.Env, d.Paths).Shuffle(1).
+					Map(workload.MalwareMap, 1).Batch(8).Prefetch(depth)
+				it, err := ds.MakeIterator()
+				if err != nil {
+					b.Error(err)
+					return
+				}
+				for {
+					_, ok := it.Next(t)
+					if !ok {
+						break
+					}
+					// A step near mean batch production time: the bursty-parity regime.
+					m.Env.GPU.Launch(t, "step", 400*sim.Millisecond)
+				}
+				it.Close(t)
+			})
+			if err := m.K.Run(); err != nil {
+				b.Fatal(err)
+			}
+			walls[di] = sim.Seconds(m.K.Now())
+		}
+	}
+	for di, depth := range depths {
+		b.ReportMetric(walls[di], fmt.Sprintf("wall_s_prefetch%d", depth))
+	}
+	b.ReportMetric(walls[0]/walls[len(walls)-1], "prefetch_speedup_x")
+}
+
+// BenchmarkAblationAutotune measures how many probe windows the
+// tf-Darshan-driven auto-tuner needs to find the threading knee on the
+// Lustre platform (the §VII auto-tuning opportunity).
+func BenchmarkAblationAutotune(b *testing.B) {
+	var probes, chosen int
+	for i := 0; i < b.N; i++ {
+		res, err := runAutotuneProbe()
+		if err != nil {
+			b.Fatal(err)
+		}
+		probes, chosen = res[0], res[1]
+	}
+	b.ReportMetric(float64(probes), "probe_windows")
+	b.ReportMetric(float64(chosen), "chosen_threads")
+}

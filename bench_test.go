@@ -1,0 +1,109 @@
+// Package repro's benchmark harness regenerates every table and figure of
+// the paper's evaluation and reports the headline quantities as benchmark
+// metrics. One benchmark per artifact:
+//
+//	go test -bench=. -benchmem
+//
+// Benchmarks default to scale 0.2 (a fifth of the paper's dataset sizes
+// and step counts) so the suite completes in minutes; set
+// TFDARSHAN_BENCH_SCALE=1.0 to run at paper scale. All quantities that are
+// ratios or counts-per-file are scale-invariant; EXPERIMENTS.md records
+// the full-scale paper-vs-measured comparison.
+package repro
+
+import (
+	"os"
+	"strconv"
+	"strings"
+	"testing"
+
+	"repro/internal/experiments"
+)
+
+func benchConfig() experiments.Config {
+	scale := 0.2
+	if s := os.Getenv("TFDARSHAN_BENCH_SCALE"); s != "" {
+		if v, err := strconv.ParseFloat(s, 64); err == nil && v > 0 {
+			scale = v
+		}
+	}
+	return experiments.Config{Scale: scale}
+}
+
+func runArtifact(b *testing.B, id string) {
+	b.Helper()
+	runner, ok := experiments.Find(id)
+	if !ok {
+		b.Fatalf("unknown artifact %s", id)
+	}
+	cfg := benchConfig()
+	var res experiments.Result
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		var err error
+		res, err = runner.Run(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+	for k, v := range res.Metrics() {
+		// Benchmark metric units must not contain whitespace; some
+		// experiment keys carry workload names ("Kaggle BIG 2015_files").
+		b.ReportMetric(v, strings.ReplaceAll(k, " ", "_"))
+	}
+}
+
+// BenchmarkTable1FeatureMatrix regenerates Table I (feature comparison).
+func BenchmarkTable1FeatureMatrix(b *testing.B) { runArtifact(b, "table1") }
+
+// BenchmarkTable2Datasets regenerates Table II (dataset characteristics).
+func BenchmarkTable2Datasets(b *testing.B) { runArtifact(b, "table2") }
+
+// BenchmarkFig3StreamImageNet regenerates Fig. 3 (STREAM ImageNet
+// bandwidth: dstat vs tf-Darshan).
+func BenchmarkFig3StreamImageNet(b *testing.B) { runArtifact(b, "fig3") }
+
+// BenchmarkFig4StreamMalware regenerates Fig. 4 (STREAM malware bandwidth;
+// ~10x Fig. 3's).
+func BenchmarkFig4StreamMalware(b *testing.B) { runArtifact(b, "fig4") }
+
+// BenchmarkFig5Overhead regenerates Fig. 5 (profiling overhead vs no
+// profiler across four workloads).
+func BenchmarkFig5Overhead(b *testing.B) { runArtifact(b, "fig5") }
+
+// BenchmarkFig6Checkpoint regenerates Fig. 6 (checkpoint fwrites captured
+// on the STDIO layer).
+func BenchmarkFig6Checkpoint(b *testing.B) { runArtifact(b, "fig6") }
+
+// BenchmarkFig7aImageNetProfile regenerates Fig. 7a (ImageNet, 1 thread:
+// ~3MB/s, 2 reads per file, 50% zero-length).
+func BenchmarkFig7aImageNetProfile(b *testing.B) { runArtifact(b, "fig7a") }
+
+// BenchmarkFig7bImageNetThreads regenerates Fig. 7b (28 threads: ~8x
+// bandwidth).
+func BenchmarkFig7bImageNetThreads(b *testing.B) { runArtifact(b, "fig7b") }
+
+// BenchmarkFig8ZeroReadTimeline regenerates Fig. 8 (TraceViewer extract:
+// every file read ends in a zero-length read).
+func BenchmarkFig8ZeroReadTimeline(b *testing.B) { runArtifact(b, "fig8") }
+
+// BenchmarkFig9MalwareProfile regenerates Fig. 9 (malware, 1 thread:
+// ~94MB/s, reads clustered 100KB-1MB, mostly sequential).
+func BenchmarkFig9MalwareProfile(b *testing.B) { runArtifact(b, "fig9") }
+
+// BenchmarkFig10MalwareTimeline regenerates Fig. 10 (ReadFile ops vs POSIX
+// segments in the TraceViewer).
+func BenchmarkFig10MalwareTimeline(b *testing.B) { runArtifact(b, "fig10") }
+
+// BenchmarkFig11aMalwareThreads regenerates Fig. 11a (16 threads drop
+// bandwidth 94 -> 77 MB/s).
+func BenchmarkFig11aMalwareThreads(b *testing.B) { runArtifact(b, "fig11a") }
+
+// BenchmarkFig11bStaging regenerates Fig. 11b (staging files <2MB to
+// Optane: ~+19% bandwidth from ~8% of bytes).
+func BenchmarkFig11bStaging(b *testing.B) { runArtifact(b, "fig11b") }
+
+// BenchmarkFig12DstatComparison regenerates Fig. 12 (whole-run disk
+// activity: staged finishes first, 16-thread run last).
+func BenchmarkFig12DstatComparison(b *testing.B) { runArtifact(b, "fig12") }

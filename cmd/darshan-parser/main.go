@@ -1,0 +1,99 @@
+// Command darshan-parser dumps a Darshan binary log in the style of the
+// original darshan-parser utility: job header, name records, and per-file
+// counters for the POSIX and STDIO modules.
+//
+//	darshan-parser [-total] <darshan.log>
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+
+	"repro/internal/darshan"
+)
+
+func main() {
+	total := flag.Bool("total", false, "print aggregated counters only (like darshan-parser --total)")
+	perf := flag.Bool("perf", false, "print derived performance summary (like darshan-parser --perf)")
+	flag.Parse()
+	if flag.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, "usage: darshan-parser [-total] [-perf] <darshan.log>")
+		os.Exit(2)
+	}
+	f, err := os.Open(flag.Arg(0))
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	defer f.Close()
+	log, err := darshan.ParseLog(f)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+
+	fmt.Printf("# darshan log version: %d\n", log.Version)
+	fmt.Printf("# nprocs: %d\n", log.NProcs)
+	fmt.Printf("# run time: %.4f s\n", log.JobEnd)
+	fmt.Printf("# POSIX module records: %d\n", len(log.Posix))
+	fmt.Printf("# STDIO module records: %d\n\n", len(log.Stdio))
+
+	if *perf {
+		fmt.Print(darshan.Summarize(log).Render())
+		return
+	}
+	if *total {
+		printTotals(log)
+		return
+	}
+
+	sort.Slice(log.Posix, func(i, j int) bool {
+		return log.Names[log.Posix[i].ID] < log.Names[log.Posix[j].ID]
+	})
+	for i := range log.Posix {
+		rec := &log.Posix[i]
+		name := log.Names[rec.ID]
+		for c := darshan.PosixCounter(0); c < darshan.PosixNumCounters; c++ {
+			fmt.Printf("POSIX\t%d\t%d\t%s\t%d\t%s\n", rec.Rank, rec.ID, c, rec.Counters[c], name)
+		}
+		for c := darshan.PosixFCounter(0); c < darshan.PosixNumFCounters; c++ {
+			fmt.Printf("POSIX\t%d\t%d\t%s\t%.6f\t%s\n", rec.Rank, rec.ID, c, rec.FCounters[c], name)
+		}
+	}
+	sort.Slice(log.Stdio, func(i, j int) bool {
+		return log.Names[log.Stdio[i].ID] < log.Names[log.Stdio[j].ID]
+	})
+	for i := range log.Stdio {
+		rec := &log.Stdio[i]
+		name := log.Names[rec.ID]
+		for c := darshan.StdioCounter(0); c < darshan.StdioNumCounters; c++ {
+			fmt.Printf("STDIO\t%d\t%d\t%s\t%d\t%s\n", rec.Rank, rec.ID, c, rec.Counters[c], name)
+		}
+		for c := darshan.StdioFCounter(0); c < darshan.StdioNumFCounters; c++ {
+			fmt.Printf("STDIO\t%d\t%d\t%s\t%.6f\t%s\n", rec.Rank, rec.ID, c, rec.FCounters[c], name)
+		}
+	}
+}
+
+func printTotals(log *darshan.Log) {
+	var posix [darshan.PosixNumCounters]int64
+	for i := range log.Posix {
+		for c := range posix {
+			posix[c] += log.Posix[i].Counters[c]
+		}
+	}
+	for c := darshan.PosixCounter(0); c < darshan.PosixNumCounters; c++ {
+		fmt.Printf("total_%s: %d\n", c, posix[c])
+	}
+	var stdio [darshan.StdioNumCounters]int64
+	for i := range log.Stdio {
+		for c := range stdio {
+			stdio[c] += log.Stdio[i].Counters[c]
+		}
+	}
+	for c := darshan.StdioCounter(0); c < darshan.StdioNumCounters; c++ {
+		fmt.Printf("total_%s: %d\n", c, stdio[c])
+	}
+}

@@ -1,0 +1,67 @@
+// Command dxt-parser dumps the DXT (Darshan eXtended Tracing) segments of
+// a Darshan log in the style of darshan-dxt-parser: per file, every read
+// and write with its offset, length and time window.
+//
+//	dxt-parser [-limit n] <darshan.log>
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+
+	"repro/internal/darshan"
+)
+
+func main() {
+	limit := flag.Int("limit", 0, "max segments to print per file and direction (0 = all)")
+	flag.Parse()
+	if flag.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, "usage: dxt-parser [-limit n] <darshan.log>")
+		os.Exit(2)
+	}
+	f, err := os.Open(flag.Arg(0))
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	defer f.Close()
+	log, err := darshan.ParseLog(f)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+
+	sort.Slice(log.DXT, func(i, j int) bool {
+		return log.Names[log.DXT[i].ID] < log.Names[log.DXT[j].ID]
+	})
+	var totalSegs, totalDropped int64
+	for i := range log.DXT {
+		rec := &log.DXT[i]
+		name := log.Names[rec.ID]
+		fmt.Printf("# DXT, file_id: %d, file_name: %s\n", rec.ID, name)
+		fmt.Printf("# DXT, write_count: %d, read_count: %d, dropped: %d\n",
+			len(rec.WriteSegs), len(rec.ReadSegs), rec.Dropped)
+		printSegs("X_POSIX\twrite", rec.WriteSegs, *limit)
+		printSegs("X_POSIX\tread", rec.ReadSegs, *limit)
+		totalSegs += int64(len(rec.ReadSegs) + len(rec.WriteSegs))
+		totalDropped += rec.Dropped
+	}
+	fmt.Printf("# total segments: %d (dropped %d)\n", totalSegs, totalDropped)
+}
+
+func printSegs(prefix string, segs []darshan.Segment, limit int) {
+	n := len(segs)
+	if limit > 0 && n > limit {
+		n = limit
+	}
+	for i := 0; i < n; i++ {
+		s := segs[i]
+		fmt.Printf("%s\t[tid=%d]\toffset=%d\tlength=%d\tstart=%.6f\tend=%.6f\n",
+			prefix, s.TID, s.Offset, s.Length, s.Start, s.End)
+	}
+	if n < len(segs) {
+		fmt.Printf("%s\t... %d more segments\n", prefix, len(segs)-n)
+	}
+}

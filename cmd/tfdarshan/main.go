@@ -1,0 +1,123 @@
+// Command tfdarshan regenerates the paper's tables and figures and
+// produces profiling artifacts for the companion tools.
+//
+// Usage:
+//
+//	tfdarshan list
+//	tfdarshan run [-scale f] <id>...       (ids: table1 table2 fig3 ... fig12, or "all")
+//	tfdarshan metrics [-scale f] <id>...   (metrics only, no figure body)
+//	tfdarshan artifacts [-scale f] [-out dir] <imagenet|malware>
+//	    writes darshan.log, trace.json.gz and profile.pb from a profiled
+//	    run (inputs for darshan-parser, dxt-parser and traceviewer)
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"time"
+
+	"repro/internal/experiments"
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		usage()
+		os.Exit(2)
+	}
+	cmd := os.Args[1]
+	fs := flag.NewFlagSet(cmd, flag.ExitOnError)
+	scale := fs.Float64("scale", 1.0, "dataset/step scale factor (1.0 = paper scale)")
+	seed := fs.Int64("seed", 0, "shuffle seed perturbation")
+	outDir := fs.String("out", ".", "artifact output directory")
+	if err := fs.Parse(os.Args[2:]); err != nil {
+		os.Exit(2)
+	}
+	cfg := experiments.Config{Scale: *scale, Seed: *seed}
+
+	switch cmd {
+	case "artifacts":
+		if fs.NArg() != 1 {
+			usage()
+			os.Exit(2)
+		}
+		if err := writeArtifacts(cfg, fs.Arg(0), *outDir); err != nil {
+			fmt.Fprintf(os.Stderr, "artifacts: %v\n", err)
+			os.Exit(1)
+		}
+	case "list":
+		for _, r := range experiments.All() {
+			fmt.Printf("  %-8s %s\n", r.ID, r.Description)
+		}
+	case "run", "metrics":
+		ids := fs.Args()
+		if len(ids) == 1 && ids[0] == "all" {
+			ids = nil
+			for _, r := range experiments.All() {
+				ids = append(ids, r.ID)
+			}
+		}
+		if len(ids) == 0 {
+			usage()
+			os.Exit(2)
+		}
+		for _, id := range ids {
+			runner, ok := experiments.Find(id)
+			if !ok {
+				fmt.Fprintf(os.Stderr, "unknown experiment %q (try: tfdarshan list)\n", id)
+				os.Exit(1)
+			}
+			start := time.Now()
+			res, err := runner.Run(cfg)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "%s: %v\n", id, err)
+				os.Exit(1)
+			}
+			fmt.Printf("==== %s — %s (scale %.3f, %.1fs real) ====\n",
+				runner.ID, runner.Description, cfg.Scale, time.Since(start).Seconds())
+			if cmd == "run" {
+				fmt.Println(res.Render())
+			}
+			fmt.Println("metrics:")
+			fmt.Print(experiments.RenderMetrics(res.Metrics()))
+			fmt.Println()
+		}
+	default:
+		usage()
+		os.Exit(2)
+	}
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, `usage:
+  tfdarshan list
+  tfdarshan run       [-scale f] [-seed n] <id>...|all
+  tfdarshan metrics   [-scale f] [-seed n] <id>...|all
+  tfdarshan artifacts [-scale f] [-out dir] <imagenet|malware>`)
+}
+
+// writeArtifacts runs a profiled case study and writes the Darshan log,
+// trace.json.gz and profile.pb for the companion tools.
+func writeArtifacts(cfg experiments.Config, useCase, dir string) error {
+	art, err := experiments.ProduceArtifacts(cfg, useCase)
+	if err != nil {
+		return err
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	files := map[string][]byte{
+		"darshan.log":   art.DarshanLog,
+		"trace.json.gz": art.TraceJSONGz,
+		"profile.pb":    art.ProfilePB,
+	}
+	for name, data := range files {
+		p := filepath.Join(dir, name)
+		if err := os.WriteFile(p, data, 0o644); err != nil {
+			return err
+		}
+		fmt.Printf("wrote %s (%d bytes)\n", p, len(data))
+	}
+	return nil
+}

@@ -1,0 +1,107 @@
+// Command traceviewer renders a trace.json.gz document as text: events per
+// process/thread in time order — a terminal stand-in for TensorBoard's
+// TraceViewer (the Figs. 8/10 views).
+//
+//	traceviewer [-limit n] <trace.json.gz>
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+
+	"repro/internal/trace"
+)
+
+// rawEvent mirrors the union of event and metadata records.
+type rawEvent struct {
+	Name string            `json:"name"`
+	Ph   string            `json:"ph"`
+	TS   float64           `json:"ts"`
+	Dur  float64           `json:"dur"`
+	PID  int               `json:"pid"`
+	TID  int64             `json:"tid"`
+	Args map[string]string `json:"args"`
+}
+
+func main() {
+	limit := flag.Int("limit", 20, "max events to print per thread (0 = all)")
+	flag.Parse()
+	if flag.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, "usage: traceviewer [-limit n] <trace.json.gz>")
+		os.Exit(2)
+	}
+	f, err := os.Open(flag.Arg(0))
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	defer f.Close()
+	doc, err := trace.ReadJSONGz(f)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+
+	procNames := map[int]string{}
+	threadNames := map[[2]int64]string{}
+	byThread := map[[2]int64][]rawEvent{}
+	for _, raw := range doc.TraceEvents {
+		var ev rawEvent
+		if err := json.Unmarshal(raw, &ev); err != nil {
+			continue
+		}
+		switch {
+		case ev.Ph == "M" && ev.Name == "process_name":
+			procNames[ev.PID] = ev.Args["name"]
+		case ev.Ph == "M" && ev.Name == "thread_name":
+			threadNames[[2]int64{int64(ev.PID), ev.TID}] = ev.Args["name"]
+		case ev.Ph == "X":
+			key := [2]int64{int64(ev.PID), ev.TID}
+			byThread[key] = append(byThread[key], ev)
+		}
+	}
+
+	keys := make([][2]int64, 0, len(byThread))
+	for k := range byThread {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		if keys[i][0] != keys[j][0] {
+			return keys[i][0] < keys[j][0]
+		}
+		return keys[i][1] < keys[j][1]
+	})
+	lastPID := int64(-1)
+	for _, k := range keys {
+		if k[0] != lastPID {
+			fmt.Printf("=== process %d: %s ===\n", k[0], procNames[int(k[0])])
+			lastPID = k[0]
+		}
+		fmt.Printf("  -- thread %d: %s\n", k[1], threadNames[k])
+		evs := byThread[k]
+		sort.Slice(evs, func(i, j int) bool { return evs[i].TS < evs[j].TS })
+		n := len(evs)
+		if *limit > 0 && n > *limit {
+			n = *limit
+		}
+		for i := 0; i < n; i++ {
+			ev := evs[i]
+			fmt.Printf("     [%12.3fms +%9.3fms] %s", ev.TS/1e3, ev.Dur/1e3, ev.Name)
+			argKeys := make([]string, 0, len(ev.Args))
+			for a := range ev.Args {
+				argKeys = append(argKeys, a)
+			}
+			sort.Strings(argKeys)
+			for _, a := range argKeys {
+				fmt.Printf(" %s=%s", a, ev.Args[a])
+			}
+			fmt.Println()
+		}
+		if n < len(evs) {
+			fmt.Printf("     ... %d more events\n", len(evs)-n)
+		}
+	}
+}

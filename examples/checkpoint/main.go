@@ -1,0 +1,66 @@
+// Checkpoint capture (paper §IV-D / Fig. 6): train with a checkpoint after
+// every step and watch Darshan's STDIO module count the fwrite calls that
+// TensorFlow's buffered writable files produce — invisible to the POSIX
+// module because libc's internal flushes bypass the PLT.
+//
+//	go run ./examples/checkpoint [-steps 10]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+
+	"repro/internal/core"
+	"repro/internal/platform"
+	"repro/internal/sim"
+	"repro/internal/tf/keras"
+	"repro/internal/tf/tfdata"
+	"repro/internal/workload"
+)
+
+func main() {
+	steps := flag.Int("steps", 10, "training steps (one checkpoint per step, all kept)")
+	flag.Parse()
+
+	m := platform.NewKebnekaise(platform.Options{})
+	handle := core.Register(m.Env, core.DefaultTracerConfig())
+
+	nFiles := *steps * 256
+	paths := make([]string, nFiles)
+	for i := range paths {
+		paths[i] = fmt.Sprintf("%s/in/img-%06d.jpg", platform.KebnekaiseLustre, i)
+		if _, err := m.FS.CreateFile(paths[i], 88*1024); err != nil {
+			log.Fatal(err)
+		}
+	}
+
+	model := workload.AlexNet()
+	mc := keras.NewModelCheckpoint(platform.KebnekaiseLustre+"/ckpt", 1)
+	tb := keras.NewTensorBoard(1, *steps)
+	m.K.Spawn("main", func(t *sim.Thread) {
+		ds := tfdata.FromFiles(m.Env, paths).
+			Map(workload.ImageNetMap, 2).Batch(256).Prefetch(10)
+		it, err := ds.MakeIterator()
+		if err != nil {
+			log.Fatal(err)
+		}
+		if _, err := model.Fit(t, m.Env, it, keras.FitOptions{
+			Steps: *steps, Callbacks: []keras.Callback{mc, tb},
+		}); err != nil {
+			log.Fatal(err)
+		}
+	})
+	if err := m.K.Run(); err != nil {
+		log.Fatal(err)
+	}
+
+	a := handle.Last
+	fmt.Printf("checkpoints written:      %d (%.1f MB each)\n",
+		len(mc.Results), float64(model.ParamBytes())/1e6)
+	fmt.Printf("fwrite calls (writer):    %d\n", mc.TotalFwrites())
+	fmt.Printf("fwrite calls (Darshan):   %d on the STDIO layer\n", a.StdioWrites)
+	fmt.Printf("STDIO bytes written:      %.1f MB\n", float64(a.StdioBytesWritten)/1e6)
+	fmt.Printf("POSIX writes observed:    %d (stdio flushes bypass the PLT)\n", a.Writes)
+	fmt.Printf("\nthe paper's Fig. 6 reports ~1,400 fwrites for 10 checkpoints\n")
+}

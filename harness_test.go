@@ -1,0 +1,64 @@
+package repro
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/platform"
+	"repro/internal/sim"
+	"repro/internal/tf/tfdata"
+	"repro/internal/workload"
+)
+
+// runAutotuneProbe drives the auto-tuner over profiled STREAM windows on
+// the Kebnekaise platform and returns {probe count, chosen threads}.
+func runAutotuneProbe() ([2]int, error) {
+	at := core.NewAutoTuner(1, 1, 28)
+	probe := func(threads int) (float64, error) {
+		m := platform.NewKebnekaise(platform.Options{})
+		h := core.Register(m.Env, core.DefaultTracerConfig())
+		paths := make([]string, 512)
+		for i := range paths {
+			paths[i] = fmt.Sprintf("%s/at/f%04d", platform.KebnekaiseLustre, i)
+			if _, err := m.FS.CreateFile(paths[i], 88*1024); err != nil {
+				return 0, err
+			}
+		}
+		var err error
+		m.K.Spawn("probe", func(t *sim.Thread) {
+			ds := tfdata.FromFiles(m.Env, paths).Shuffle(1).
+				Map(workload.StreamMap, threads).Batch(32).Prefetch(4)
+			it, mkErr := ds.MakeIterator()
+			if mkErr != nil {
+				err = mkErr
+				return
+			}
+			if _, e := m.Env.Prof.Start(t); e != nil {
+				err = e
+				return
+			}
+			for s := 0; s < 8; s++ {
+				if _, ok := it.Next(t); !ok {
+					break
+				}
+			}
+			if _, e := m.Env.Prof.Stop(t); e != nil {
+				err = e
+				return
+			}
+			it.Close(t)
+		})
+		if runErr := m.K.Run(); runErr != nil {
+			return 0, runErr
+		}
+		if err != nil {
+			return 0, err
+		}
+		return h.Last.ReadBandwidthMBps(), nil
+	}
+	chosen, err := at.Tune(probe, 8)
+	if err != nil {
+		return [2]int{}, err
+	}
+	return [2]int{len(at.History), chosen}, nil
+}

@@ -1,0 +1,268 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/darshan"
+	"repro/internal/proto"
+	"repro/internal/stats"
+)
+
+// FileStats is the per-file row of a session analysis.
+type FileStats struct {
+	ID        uint64
+	Name      string
+	Size      int64
+	Opens     int64
+	Reads     int64
+	Writes    int64
+	BytesRead int64
+	ReadTime  float64
+}
+
+// SessionStats is tf-Darshan's in-situ analysis of one profiling window:
+// the difference between the Darshan buffer snapshots taken at session
+// start and stop (paper §III-C), organized into the quantities the
+// TensorBoard panels display (paper Figs. 7a/9).
+type SessionStats struct {
+	StartTime float64
+	EndTime   float64
+
+	Opens  int64
+	Reads  int64
+	Writes int64
+	Seeks  int64
+	Stats  int64
+	Fsyncs int64
+
+	BytesRead    int64
+	BytesWritten int64
+
+	ZeroReads   int64
+	SeqReads    int64
+	ConsecReads int64
+	SeqWrites   int64
+	ConsecWrite int64
+
+	ReadSizeHist  *stats.Histogram
+	WriteSizeHist *stats.Histogram
+	FileSizeHist  *stats.Histogram
+
+	StdioOpens        int64
+	StdioReads        int64
+	StdioWrites       int64
+	StdioFlushes      int64
+	StdioBytesRead    int64
+	StdioBytesWritten int64
+
+	FilesAccessed int
+	PerFile       []FileStats
+}
+
+// Duration returns the session window length in seconds.
+func (s *SessionStats) Duration() float64 { return s.EndTime - s.StartTime }
+
+// ReadBandwidthMBps returns POSIX read bandwidth over the window, the
+// paper's headline metric (bytes transferred / elapsed wall-clock of the
+// profiling session).
+func (s *SessionStats) ReadBandwidthMBps() float64 {
+	d := s.Duration()
+	if d <= 0 {
+		return 0
+	}
+	return float64(s.BytesRead) / 1e6 / d
+}
+
+// WriteBandwidthMBps returns POSIX write bandwidth over the window.
+func (s *SessionStats) WriteBandwidthMBps() float64 {
+	d := s.Duration()
+	if d <= 0 {
+		return 0
+	}
+	return float64(s.BytesWritten) / 1e6 / d
+}
+
+// NonSeqNonConsecReads returns reads that were neither sequential nor
+// consecutive (the "50% of reads" observation of Fig. 7a).
+func (s *SessionStats) NonSeqNonConsecReads() int64 {
+	n := s.Reads - s.SeqReads
+	if n < 0 {
+		return 0
+	}
+	return n
+}
+
+// SizeOfFunc resolves a path to its current file size (for the file-size
+// distribution panel); ok=false when unknown.
+type SizeOfFunc func(path string) (int64, bool)
+
+// Analyze diffs two Darshan snapshots into session statistics. sizeOf may
+// be nil.
+func Analyze(start, stop *darshan.Snapshot, lookup func(uint64) (string, bool), sizeOf SizeOfFunc) *SessionStats {
+	out := &SessionStats{
+		StartTime:     start.Time,
+		EndTime:       stop.Time,
+		ReadSizeHist:  stats.NewDarshanSizeHistogram(),
+		WriteSizeHist: stats.NewDarshanSizeHistogram(),
+		FileSizeHist:  stats.NewDarshanSizeHistogram(),
+	}
+
+	base := make(map[uint64]*darshan.PosixRecord, len(start.Posix))
+	for i := range start.Posix {
+		base[start.Posix[i].ID] = &start.Posix[i]
+	}
+	diff := func(rec *darshan.PosixRecord, c darshan.PosixCounter) int64 {
+		if b, ok := base[rec.ID]; ok {
+			return rec.Counters[c] - b.Counters[c]
+		}
+		return rec.Counters[c]
+	}
+	fdiff := func(rec *darshan.PosixRecord, c darshan.PosixFCounter) float64 {
+		if b, ok := base[rec.ID]; ok {
+			return rec.FCounters[c] - b.FCounters[c]
+		}
+		return rec.FCounters[c]
+	}
+
+	for i := range stop.Posix {
+		rec := &stop.Posix[i]
+		opens := diff(rec, darshan.POSIX_OPENS)
+		reads := diff(rec, darshan.POSIX_READS)
+		writes := diff(rec, darshan.POSIX_WRITES)
+		seeks := diff(rec, darshan.POSIX_SEEKS)
+		statsN := diff(rec, darshan.POSIX_STATS)
+		fsyncs := diff(rec, darshan.POSIX_FSYNCS)
+		if opens+reads+writes+seeks+statsN+fsyncs == 0 {
+			continue // untouched during the window
+		}
+		out.Opens += opens
+		out.Reads += reads
+		out.Writes += writes
+		out.Seeks += seeks
+		out.Stats += statsN
+		out.Fsyncs += fsyncs
+		out.BytesRead += diff(rec, darshan.POSIX_BYTES_READ)
+		out.BytesWritten += diff(rec, darshan.POSIX_BYTES_WRITTEN)
+		out.SeqReads += diff(rec, darshan.POSIX_SEQ_READS)
+		out.ConsecReads += diff(rec, darshan.POSIX_CONSEC_READS)
+		out.SeqWrites += diff(rec, darshan.POSIX_SEQ_WRITES)
+		out.ConsecWrite += diff(rec, darshan.POSIX_CONSEC_WRITES)
+		for b := 0; b < 10; b++ {
+			out.ReadSizeHist.Counts[b] += diff(rec, darshan.POSIX_SIZE_READ_0_100+darshan.PosixCounter(b))
+			out.WriteSizeHist.Counts[b] += diff(rec, darshan.POSIX_SIZE_WRITE_0_100+darshan.PosixCounter(b))
+		}
+
+		name := ""
+		if lookup != nil {
+			name, _ = lookup(rec.ID)
+		} else if n, ok := stop.Names[rec.ID]; ok {
+			name = n
+		}
+		fileRow := FileStats{
+			ID:        rec.ID,
+			Name:      name,
+			Opens:     opens,
+			Reads:     reads,
+			Writes:    writes,
+			BytesRead: diff(rec, darshan.POSIX_BYTES_READ),
+			ReadTime:  fdiff(rec, darshan.POSIX_F_READ_TIME),
+		}
+		if sizeOf != nil && name != "" {
+			if sz, ok := sizeOf(name); ok {
+				fileRow.Size = sz
+				out.FileSizeHist.Add(sz)
+			}
+		}
+		out.PerFile = append(out.PerFile, fileRow)
+		out.FilesAccessed++
+	}
+
+	// STDIO module diff.
+	sbase := make(map[uint64]*darshan.StdioRecord, len(start.Stdio))
+	for i := range start.Stdio {
+		sbase[start.Stdio[i].ID] = &start.Stdio[i]
+	}
+	sdiff := func(rec *darshan.StdioRecord, c darshan.StdioCounter) int64 {
+		if b, ok := sbase[rec.ID]; ok {
+			return rec.Counters[c] - b.Counters[c]
+		}
+		return rec.Counters[c]
+	}
+	for i := range stop.Stdio {
+		rec := &stop.Stdio[i]
+		out.StdioOpens += sdiff(rec, darshan.STDIO_OPENS)
+		out.StdioReads += sdiff(rec, darshan.STDIO_READS)
+		out.StdioWrites += sdiff(rec, darshan.STDIO_WRITES)
+		out.StdioFlushes += sdiff(rec, darshan.STDIO_FLUSHES)
+		out.StdioBytesRead += sdiff(rec, darshan.STDIO_BYTES_READ)
+		out.StdioBytesWritten += sdiff(rec, darshan.STDIO_BYTES_WRITTEN)
+	}
+
+	// Zero reads: exact from DXT segments within the window.
+	for i := range stop.DXT {
+		rec := &stop.DXT[i]
+		for _, seg := range rec.ReadSegs {
+			if seg.Start >= start.Time && seg.End <= stop.Time && seg.Length == 0 {
+				out.ZeroReads++
+			}
+		}
+	}
+
+	sort.Slice(out.PerFile, func(i, j int) bool { return out.PerFile[i].Name < out.PerFile[j].Name })
+	return out
+}
+
+// ToProto converts the analysis into the exported protobuf message.
+func (s *SessionStats) ToProto() *proto.DarshanProfile {
+	p := &proto.DarshanProfile{
+		StartTime:          s.StartTime,
+		EndTime:            s.EndTime,
+		BytesRead:          s.BytesRead,
+		BytesWritten:       s.BytesWritten,
+		Opens:              s.Opens,
+		Reads:              s.Reads,
+		Writes:             s.Writes,
+		Seeks:              s.Seeks,
+		Stats:              s.Stats,
+		ReadBandwidthMBps:  s.ReadBandwidthMBps(),
+		WriteBandwidthMBps: s.WriteBandwidthMBps(),
+		ZeroReads:          s.ZeroReads,
+		SeqReads:           s.SeqReads,
+		ConsecReads:        s.ConsecReads,
+		ReadSizeBuckets:    append([]int64(nil), s.ReadSizeHist.Counts...),
+		WriteSizeBuckets:   append([]int64(nil), s.WriteSizeHist.Counts...),
+		FileSizeBuckets:    append([]int64(nil), s.FileSizeHist.Counts...),
+		FilesAccessed:      int64(s.FilesAccessed),
+		StdioOpens:         s.StdioOpens,
+		StdioWrites:        s.StdioWrites,
+		StdioBytesWritten:  s.StdioBytesWritten,
+		StdioReads:         s.StdioReads,
+		StdioBytesRead:     s.StdioBytesRead,
+	}
+	for _, f := range s.PerFile {
+		p.Files = append(p.Files, proto.FileProfile{
+			RecordID:  f.ID,
+			Name:      f.Name,
+			Opens:     f.Opens,
+			Reads:     f.Reads,
+			Writes:    f.Writes,
+			BytesRead: f.BytesRead,
+			ReadTime:  f.ReadTime,
+			Size:      f.Size,
+		})
+	}
+	return p
+}
+
+// Summary renders the analysis as the one-screen text the TensorBoard
+// input-pipeline panel shows.
+func (s *SessionStats) Summary() string {
+	return fmt.Sprintf(
+		"window %.2fs-%.2fs (%.2fs): POSIX %d opens, %d reads (%d zero-len, %d seq, %d consec), "+
+			"%d writes | %.2f MB read (%.2f MB/s) | %d files | STDIO %d opens %d fwrites (%.2f MB)",
+		s.StartTime, s.EndTime, s.Duration(),
+		s.Opens, s.Reads, s.ZeroReads, s.SeqReads, s.ConsecReads,
+		s.Writes, float64(s.BytesRead)/1e6, s.ReadBandwidthMBps(),
+		s.FilesAccessed, s.StdioOpens, s.StdioWrites, float64(s.StdioBytesWritten)/1e6)
+}

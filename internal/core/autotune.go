@@ -1,0 +1,126 @@
+package core
+
+import "fmt"
+
+// AutoTuner hill-climbs an input-pipeline parameter (num_parallel_calls)
+// on tf-Darshan's measured bandwidth. The paper's discussion (§VII) frames
+// exactly this opportunity: "TensorFlow already uses auto-tuning
+// extensively ... The information from tf-Darshan has the potential of
+// improving this process with I/O specific information." The tuner
+// encodes the two case-study outcomes: more threads help latency-bound
+// small-file corpora (ImageNet on Lustre, Fig. 7b) and hurt seek-bound
+// large-file corpora (malware on HDD, Fig. 11a), so the right setting
+// must be measured, not guessed.
+type AutoTuner struct {
+	// Min and Max bound the candidate thread counts.
+	Min, Max int
+	// Tolerance is the relative improvement below which a move is
+	// considered neutral (measurement noise floor).
+	Tolerance float64
+
+	current   int
+	direction int // +1 growing, -1 shrinking
+	lastBW    float64
+	settled   bool
+
+	// History records every observation.
+	History []TuneObservation
+}
+
+// TuneObservation is one (threads, bandwidth) probe result.
+type TuneObservation struct {
+	Threads       int
+	BandwidthMBps float64
+}
+
+// NewAutoTuner starts at `start` threads within [min, max].
+func NewAutoTuner(start, min, max int) *AutoTuner {
+	if min < 1 {
+		min = 1
+	}
+	if max < min {
+		max = min
+	}
+	if start < min {
+		start = min
+	}
+	if start > max {
+		start = max
+	}
+	return &AutoTuner{Min: min, Max: max, Tolerance: 0.05, current: start, direction: +1}
+}
+
+// Current returns the thread count to use for the next window.
+func (at *AutoTuner) Current() int { return at.current }
+
+// Settled reports whether the tuner has converged.
+func (at *AutoTuner) Settled() bool { return at.settled }
+
+// Best returns the observation with the highest bandwidth so far.
+func (at *AutoTuner) Best() TuneObservation {
+	best := TuneObservation{Threads: at.current}
+	for _, o := range at.History {
+		if o.BandwidthMBps > best.BandwidthMBps {
+			best = o
+		}
+	}
+	return best
+}
+
+// Observe feeds the bandwidth measured with the current thread count and
+// returns the count to try next. Movement is multiplicative (double or
+// halve), which finds the Lustre-style knee in a handful of probes; a
+// regression reverts to the best-known setting and settles.
+func (at *AutoTuner) Observe(bandwidthMBps float64) int {
+	at.History = append(at.History, TuneObservation{Threads: at.current, BandwidthMBps: bandwidthMBps})
+	if at.settled {
+		return at.current
+	}
+	if at.lastBW > 0 {
+		change := (bandwidthMBps - at.lastBW) / at.lastBW
+		if change < at.Tolerance {
+			// No meaningful gain (or a loss): revert to the best-known
+			// configuration and stop moving.
+			at.current = at.Best().Threads
+			at.settled = true
+			return at.current
+		}
+	}
+	at.lastBW = bandwidthMBps
+	next := at.current
+	if at.direction > 0 {
+		next = at.current * 2
+	} else {
+		next = at.current / 2
+	}
+	if next > at.Max {
+		next = at.Max
+	}
+	if next < at.Min {
+		next = at.Min
+	}
+	if next == at.current {
+		at.settled = true
+		return at.current
+	}
+	at.current = next
+	return at.current
+}
+
+// Tune drives probe runs until the tuner settles or maxProbes is reached,
+// returning the chosen thread count. probe runs a (short) measurement at
+// the given thread count and returns the observed POSIX read bandwidth.
+func (at *AutoTuner) Tune(probe func(threads int) (float64, error), maxProbes int) (int, error) {
+	for i := 0; i < maxProbes && !at.settled; i++ {
+		bw, err := probe(at.current)
+		if err != nil {
+			return at.current, fmt.Errorf("core: autotune probe: %w", err)
+		}
+		at.Observe(bw)
+	}
+	if !at.settled {
+		at.current = at.Best().Threads
+		at.settled = true
+	}
+	return at.current, nil
+}

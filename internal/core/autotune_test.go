@@ -1,0 +1,139 @@
+package core
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/platform"
+	"repro/internal/sim"
+	"repro/internal/tf/tfdata"
+	"repro/internal/workload"
+)
+
+func TestAutoTunerClimbsOnImprovement(t *testing.T) {
+	at := NewAutoTuner(1, 1, 32)
+	// Bandwidth keeps improving with threads (Lustre-like).
+	bw := map[int]float64{1: 3, 2: 6, 4: 12, 8: 24, 16: 25, 32: 25}
+	for !at.Settled() {
+		at.Observe(bw[at.Current()])
+	}
+	// Improvement stalls between 8 and 16: best known is 16 or 8.
+	if got := at.Best().Threads; got < 8 {
+		t.Fatalf("settled at %d threads, want >= 8", got)
+	}
+}
+
+func TestAutoTunerBacksOffOnRegression(t *testing.T) {
+	at := NewAutoTuner(1, 1, 32)
+	// Threads hurt immediately (HDD malware-like).
+	bw := map[int]float64{1: 94, 2: 85, 4: 80, 8: 78, 16: 77, 32: 76}
+	for !at.Settled() {
+		at.Observe(bw[at.Current()])
+	}
+	if got := at.Best().Threads; got != 1 {
+		t.Fatalf("settled at %d threads, want 1", got)
+	}
+}
+
+func TestAutoTunerBounds(t *testing.T) {
+	at := NewAutoTuner(64, 2, 16)
+	if at.Current() != 16 {
+		t.Fatalf("start clamped to %d", at.Current())
+	}
+	at = NewAutoTuner(0, 0, 0)
+	if at.Current() != 1 || at.Min != 1 || at.Max != 1 {
+		t.Fatalf("degenerate bounds: %+v", at)
+	}
+	at.Observe(10)
+	if !at.Settled() {
+		t.Fatal("single-point space should settle immediately")
+	}
+}
+
+// probeBandwidth measures a short profiled STREAM window at the given
+// thread count on a fresh machine.
+func probeBandwidth(build func() (*platform.Machine, *Handle, []string), steps int) func(threads int) (float64, error) {
+	return func(threads int) (float64, error) {
+		m, h, paths := build()
+		var err error
+		m.K.Spawn("probe", func(th *sim.Thread) {
+			ds := tfdata.FromFiles(m.Env, paths).Shuffle(1).
+				Map(workload.StreamMap, threads).Batch(32).Prefetch(4)
+			it, mkErr := ds.MakeIterator()
+			if mkErr != nil {
+				err = mkErr
+				return
+			}
+			if _, e := m.Env.Prof.Start(th); e != nil {
+				err = e
+				return
+			}
+			for s := 0; s < steps; s++ {
+				if _, ok := it.Next(th); !ok {
+					break
+				}
+			}
+			if _, e := m.Env.Prof.Stop(th); e != nil {
+				err = e
+				return
+			}
+			it.Close(th)
+		})
+		if runErr := m.K.Run(); runErr != nil {
+			return 0, runErr
+		}
+		if err != nil {
+			return 0, err
+		}
+		if h.Last == nil {
+			return 0, fmt.Errorf("no analysis")
+		}
+		return h.Last.ReadBandwidthMBps(), nil
+	}
+}
+
+func TestAutoTuneFindsThreadingOnLustre(t *testing.T) {
+	// Small files on Lustre: the tuner must discover that threading pays
+	// (the Fig. 7b direction) from measured windows alone.
+	build := func() (*platform.Machine, *Handle, []string) {
+		m := platform.NewKebnekaise(platform.Options{})
+		h := Register(m.Env, DefaultTracerConfig())
+		paths := make([]string, 512)
+		for i := range paths {
+			paths[i] = fmt.Sprintf("%s/f%04d", platform.KebnekaiseLustre, i)
+			m.FS.CreateFile(paths[i], 88*1024)
+		}
+		return m, h, paths
+	}
+	at := NewAutoTuner(1, 1, 28)
+	chosen, err := at.Tune(probeBandwidth(build, 8), 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if chosen < 4 {
+		t.Fatalf("autotune chose %d threads on Lustre, want >= 4 (history %+v)", chosen, at.History)
+	}
+}
+
+func TestAutoTuneAvoidsThreadingOnHDD(t *testing.T) {
+	// Multi-MB files on the HDD: the tuner must keep parallelism low
+	// (the Fig. 11a direction).
+	build := func() (*platform.Machine, *Handle, []string) {
+		m := platform.NewGreendog(platform.Options{})
+		h := Register(m.Env, DefaultTracerConfig())
+		paths := make([]string, 128)
+		for i := range paths {
+			paths[i] = fmt.Sprintf("%s/m%04d", platform.GreendogHDDPath, i)
+			m.FS.CreateFile(paths[i], 4<<20)
+		}
+		return m, h, paths
+	}
+	at := NewAutoTuner(1, 1, 16)
+	chosen, err := at.Tune(probeBandwidth(build, 3), 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if chosen > 2 {
+		t.Fatalf("autotune chose %d threads on HDD, want <= 2 (history %+v)", chosen, at.History)
+	}
+}

@@ -1,0 +1,225 @@
+package darshan
+
+import (
+	"hash/fnv"
+	"sort"
+
+	"repro/internal/sim"
+)
+
+// RecordID returns the Darshan record id for a file path (Darshan hashes
+// the full path to a 64-bit id; we use FNV-1a).
+func RecordID(path string) uint64 {
+	h := fnv.New64a()
+	h.Write([]byte(path))
+	return h.Sum64()
+}
+
+// Config tunes the runtime's memory bounds and self-instrumentation costs.
+// The CPU costs are charged to the virtual clock so profiled runs are
+// measurably (and realistically) slower than unprofiled runs — the basis
+// of the paper's Fig. 5 overhead study.
+type Config struct {
+	// MaxRecordsPerModule bounds tracked files per module (Darshan's
+	// module memory cap; files beyond it are not tracked).
+	MaxRecordsPerModule int
+	// MaxDXTSegsPerRecord bounds trace segments per file per direction.
+	MaxDXTSegsPerRecord int
+	// EnableDXT turns on extended (per-operation) tracing.
+	EnableDXT bool
+	// WrapCPU is the bookkeeping cost per wrapped I/O call.
+	WrapCPU sim.Duration
+	// NewRecordCPU is the cost of registering a newly seen file (path
+	// hashing, record allocation).
+	NewRecordCPU sim.Duration
+	// DXTSegCPU is the cost of appending one trace segment.
+	DXTSegCPU sim.Duration
+	// SnapshotRecordCPU is the per-record cost of the runtime extraction
+	// (buffer copy + marshalling) added for tf-Darshan. Every profiling
+	// window pays it twice over the *cumulative* record set, which is why
+	// the paper's manual-mode overhead grows with the number of files
+	// processed (Fig. 5, §IV-C).
+	SnapshotRecordCPU sim.Duration
+}
+
+// DefaultConfig returns the runtime configuration used in the paper's
+// experiments: DXT on, generous record limits (the ImageNet epoch tracks
+// 128K files).
+func DefaultConfig() Config {
+	return Config{
+		MaxRecordsPerModule: 1 << 20,
+		MaxDXTSegsPerRecord: 1 << 14,
+		EnableDXT:           true,
+		WrapCPU:             200 * sim.Nanosecond,
+		NewRecordCPU:        sim.FromMicros(2),
+		DXTSegCPU:           150 * sim.Nanosecond,
+		SnapshotRecordCPU:   sim.FromMicros(50),
+	}
+}
+
+// Runtime is the in-process Darshan runtime (darshan-core plus the POSIX,
+// STDIO and DXT modules). One Runtime instruments one process.
+type Runtime struct {
+	cfg      Config
+	jobStart int64 // virtual ns at runtime init
+
+	// mu is the darshan-core lock: every wrapper's record update holds
+	// it, and the runtime extraction holds it for the whole buffer copy.
+	// Instrumented I/O therefore stalls while a snapshot is being taken,
+	// which is how extraction cost becomes visible wall-clock overhead
+	// even in deeply prefetched pipelines (Fig. 5).
+	mu sim.Mutex
+
+	names     map[uint64]string
+	nameOrder []uint64
+
+	Posix *PosixModule
+	Stdio *StdioModule
+	DXT   *DXTModule
+}
+
+// NewRuntime initializes the runtime at the current virtual time (job
+// start). now is the kernel time at process start.
+func NewRuntime(cfg Config, now int64) *Runtime {
+	rt := &Runtime{
+		cfg:      cfg,
+		jobStart: now,
+		names:    make(map[uint64]string),
+	}
+	rt.Posix = newPosixModule(rt)
+	rt.Stdio = newStdioModule(rt)
+	rt.DXT = newDXTModule(rt)
+	return rt
+}
+
+// JobStart returns the virtual time of runtime initialization.
+func (rt *Runtime) JobStart() int64 { return rt.jobStart }
+
+// rel converts an absolute virtual time to seconds since job start, the
+// unit of all Darshan float counters.
+func (rt *Runtime) rel(now int64) float64 {
+	return float64(now-rt.jobStart) / 1e9
+}
+
+// registerName maps a record id to its path, once.
+func (rt *Runtime) registerName(id uint64, path string) {
+	if _, ok := rt.names[id]; !ok {
+		rt.names[id] = path
+		rt.nameOrder = append(rt.nameOrder, id)
+	}
+}
+
+// LookupName resolves a record id to the file path, the helper the paper
+// exports from the shared library via dlsym.
+func (rt *Runtime) LookupName(id uint64) (string, bool) {
+	p, ok := rt.names[id]
+	return p, ok
+}
+
+// NameRecords returns a copy of the id→path table.
+func (rt *Runtime) NameRecords() map[uint64]string {
+	out := make(map[uint64]string, len(rt.names))
+	for k, v := range rt.names {
+		out[k] = v
+	}
+	return out
+}
+
+// instrument runs fn under the darshan-core lock, charging the per-call
+// bookkeeping cost. All wrapper record updates go through it.
+func (rt *Runtime) instrument(t *sim.Thread, fn func()) {
+	rt.mu.Lock(t)
+	if rt.cfg.WrapCPU > 0 {
+		t.Sleep(rt.cfg.WrapCPU)
+	}
+	fn()
+	rt.mu.Unlock(t)
+}
+
+func (rt *Runtime) chargeNewRecord(t *sim.Thread) {
+	if rt.cfg.NewRecordCPU > 0 {
+		t.Sleep(rt.cfg.NewRecordCPU)
+	}
+}
+
+// Snapshot deep-copies the module buffers at the current instant. This is
+// the data-extraction function the paper adds to the Darshan shared
+// library: tf-Darshan snapshots at profiling start and stop and diffs the
+// two to obtain session statistics. The copy cost is charged to the
+// calling thread while the core lock is held, so concurrent instrumented
+// I/O stalls for the duration — the consistency price of runtime
+// extraction.
+func (rt *Runtime) Snapshot(t *sim.Thread) *Snapshot {
+	rt.mu.Lock(t)
+	nRecords := rt.Posix.RecordCount() + rt.Stdio.RecordCount()
+	if rt.cfg.SnapshotRecordCPU > 0 && nRecords > 0 {
+		t.Sleep(sim.Duration(nRecords) * rt.cfg.SnapshotRecordCPU)
+	}
+	snap := &Snapshot{
+		Time:  rt.rel(t.Now()),
+		Posix: rt.Posix.copyRecords(),
+		Stdio: rt.Stdio.copyRecords(),
+		DXT:   rt.DXT.copyRecords(),
+		Names: rt.NameRecords(),
+	}
+	rt.mu.Unlock(t)
+	return snap
+}
+
+// Snapshot is a point-in-time copy of all module buffers.
+type Snapshot struct {
+	// Time is seconds since job start at which the snapshot was taken.
+	Time  float64
+	Posix []PosixRecord
+	Stdio []StdioRecord
+	DXT   []DXTRecord
+	Names map[uint64]string
+}
+
+// PosixByID returns the POSIX record with the given id, if present.
+func (s *Snapshot) PosixByID(id uint64) (PosixRecord, bool) {
+	for i := range s.Posix {
+		if s.Posix[i].ID == id {
+			return s.Posix[i], true
+		}
+	}
+	return PosixRecord{}, false
+}
+
+// StdioByID returns the STDIO record with the given id, if present.
+func (s *Snapshot) StdioByID(id uint64) (StdioRecord, bool) {
+	for i := range s.Stdio {
+		if s.Stdio[i].ID == id {
+			return s.Stdio[i], true
+		}
+	}
+	return StdioRecord{}, false
+}
+
+// finalizeAccessCounters fills the ACCESS1..4 counters from the common
+// access-size table, largest counts first (ties broken by smaller size),
+// as darshan-core does during shutdown reduction.
+func finalizeAccessCounters(rec *PosixRecord) {
+	type kv struct {
+		size  int64
+		count int64
+	}
+	pairs := make([]kv, 0, len(rec.accessSizes))
+	for s, c := range rec.accessSizes {
+		pairs = append(pairs, kv{s, c})
+	}
+	sort.Slice(pairs, func(i, j int) bool {
+		if pairs[i].count != pairs[j].count {
+			return pairs[i].count > pairs[j].count
+		}
+		return pairs[i].size < pairs[j].size
+	})
+	for i := 0; i < 4; i++ {
+		var s, c int64
+		if i < len(pairs) {
+			s, c = pairs[i].size, pairs[i].count
+		}
+		rec.Counters[POSIX_ACCESS1_ACCESS+PosixCounter(i)] = s
+		rec.Counters[POSIX_ACCESS1_COUNT+PosixCounter(i)] = c
+	}
+}

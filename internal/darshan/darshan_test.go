@@ -1,0 +1,470 @@
+package darshan
+
+import (
+	"testing"
+
+	"repro/internal/dynload"
+	"repro/internal/libc"
+	"repro/internal/sim"
+	"repro/internal/storage"
+	"repro/internal/vfs"
+)
+
+// rig is a fully-wired simulated process: VFS over an HDD, libc linked at
+// startup, Darshan attached by GOT patching (the tf-Darshan deployment).
+type rig struct {
+	k    *sim.Kernel
+	fs   *vfs.FS
+	hdd  *storage.HDD
+	proc *dynload.Process
+	rt   *Runtime
+	c    *libc.Calls
+}
+
+func newRig(cfg Config) *rig {
+	k := sim.NewKernel()
+	fs := vfs.New(vfs.DefaultConfig())
+	hdd := storage.NewHDD("sda", storage.DefaultHDDParams())
+	fs.AddMount(&vfs.Mount{Prefix: "/data", Dev: hdd, OpenMetaTrips: 1})
+	proc := dynload.NewProcess()
+	proc.LinkStartup(nil, libc.NewLibrary(fs))
+	rt := NewRuntime(cfg, k.Now())
+	r := &rig{k: k, fs: fs, hdd: hdd, proc: proc, rt: rt, c: libc.Bind(proc)}
+	r.attach()
+	return r
+}
+
+// attach patches all I/O GOT symbols to Darshan wrappers, the same scan
+// tf-Darshan's middle-man performs.
+func (r *rig) attach() {
+	for _, sym := range r.proc.ScanGOT(libc.IsIOSymbol) {
+		entry := r.proc.MustGOT(sym)
+		wrapped, ok := r.rt.WrapperFor(sym, entry.Fn())
+		if !ok {
+			continue
+		}
+		if _, err := r.proc.PatchGOT(sym, wrapped); err != nil {
+			panic(err)
+		}
+	}
+}
+
+func (r *rig) run(t *testing.T, fn func(th *sim.Thread)) {
+	t.Helper()
+	r.k.Spawn("app", fn)
+	if err := r.k.Run(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func (r *rig) posixRec(t *testing.T, path string) *PosixRecord {
+	t.Helper()
+	for _, rec := range r.rt.Posix.Records() {
+		if name, _ := r.rt.LookupName(rec.ID); name == path {
+			return rec
+		}
+	}
+	t.Fatalf("no POSIX record for %s", path)
+	return nil
+}
+
+// readWholeFileTFStyle performs TensorFlow's ReadFile loop: chunked pread
+// until a zero-length read signals EOF.
+func readWholeFileTFStyle(th *sim.Thread, c *libc.Calls, path string, chunk int) int {
+	fd, err := c.Open(th, path, vfs.O_RDONLY)
+	if err != nil {
+		panic(err)
+	}
+	buf := make([]byte, chunk)
+	var off int64
+	reads := 0
+	for {
+		n, err := c.Pread(th, fd, buf, off)
+		if err != nil {
+			panic(err)
+		}
+		reads++
+		if n == 0 {
+			break
+		}
+		off += int64(n)
+	}
+	c.Close(th, fd)
+	return reads
+}
+
+func TestOpenReadCloseCounters(t *testing.T) {
+	r := newRig(DefaultConfig())
+	r.fs.CreateFile("/data/img.jpg", 88*1024)
+	r.run(t, func(th *sim.Thread) {
+		readWholeFileTFStyle(th, r.c, "/data/img.jpg", 1<<20)
+	})
+	rec := r.posixRec(t, "/data/img.jpg")
+	if got := rec.Counters[POSIX_OPENS]; got != 1 {
+		t.Errorf("OPENS = %d", got)
+	}
+	// One data read + one zero-length EOF read: TF's signature 2x pattern.
+	if got := rec.Counters[POSIX_READS]; got != 2 {
+		t.Errorf("READS = %d", got)
+	}
+	if got := rec.Counters[POSIX_BYTES_READ]; got != 88*1024 {
+		t.Errorf("BYTES_READ = %d", got)
+	}
+	// Zero read lands in the 0-100 bucket; 88KB read in 10K-100K.
+	if got := rec.Counters[POSIX_SIZE_READ_0_100]; got != 1 {
+		t.Errorf("SIZE_READ_0_100 = %d", got)
+	}
+	if got := rec.Counters[POSIX_SIZE_READ_10K_100K]; got != 1 {
+		t.Errorf("SIZE_READ_10K_100K = %d", got)
+	}
+	// The zero-length EOF read is sequential AND consecutive; the first
+	// read is neither — the paper's 50/50 split per file.
+	if got := rec.Counters[POSIX_SEQ_READS]; got != 1 {
+		t.Errorf("SEQ_READS = %d", got)
+	}
+	if got := rec.Counters[POSIX_CONSEC_READS]; got != 1 {
+		t.Errorf("CONSEC_READS = %d", got)
+	}
+	if rec.FCounters[POSIX_F_READ_TIME] <= 0 {
+		t.Error("READ_TIME not accumulated")
+	}
+	if rec.FCounters[POSIX_F_OPEN_START_TIMESTAMP] > rec.FCounters[POSIX_F_CLOSE_END_TIMESTAMP] {
+		t.Error("timestamps out of order")
+	}
+}
+
+func TestChunkedReadSeqConsec(t *testing.T) {
+	r := newRig(DefaultConfig())
+	r.fs.CreateFile("/data/mal.bytes", 4<<20) // 4MiB in 1MiB chunks
+	reads := 0
+	r.run(t, func(th *sim.Thread) {
+		reads = readWholeFileTFStyle(th, r.c, "/data/mal.bytes", 1<<20)
+	})
+	if reads != 5 { // 4 data + 1 zero
+		t.Fatalf("reads = %d", reads)
+	}
+	rec := r.posixRec(t, "/data/mal.bytes")
+	if got := rec.Counters[POSIX_READS]; got != 5 {
+		t.Errorf("READS = %d", got)
+	}
+	// Chunks 2..4 and the zero read are consecutive: 4 of 5.
+	if got := rec.Counters[POSIX_CONSEC_READS]; got != 4 {
+		t.Errorf("CONSEC_READS = %d", got)
+	}
+	if got := rec.Counters[POSIX_SEQ_READS]; got != 4 {
+		t.Errorf("SEQ_READS = %d", got)
+	}
+	// Exactly-1MiB reads land in the upper-inclusive 100K-1M bucket.
+	if got := rec.Counters[POSIX_SIZE_READ_100K_1M]; got != 4 {
+		t.Errorf("SIZE_READ_100K_1M = %d", got)
+	}
+	if got := rec.Counters[POSIX_MAX_BYTE_READ]; got != 4<<20-1 {
+		t.Errorf("MAX_BYTE_READ = %d", got)
+	}
+}
+
+func TestAccessSizeTop4(t *testing.T) {
+	r := newRig(DefaultConfig())
+	r.fs.CreateFile("/data/f", 10<<20)
+	r.run(t, func(th *sim.Thread) {
+		fd, _ := r.c.Open(th, "/data/f", vfs.O_RDONLY)
+		buf1 := make([]byte, 1024)
+		buf2 := make([]byte, 4096)
+		for i := 0; i < 5; i++ {
+			r.c.Pread(th, fd, buf1, int64(i)*1024)
+		}
+		for i := 0; i < 3; i++ {
+			r.c.Pread(th, fd, buf2, int64(i)*4096)
+		}
+		r.c.Close(th, fd)
+	})
+	snap := snapshotNow(t, r)
+	rec, ok := snap.PosixByID(RecordID("/data/f"))
+	if !ok {
+		t.Fatal("record missing from snapshot")
+	}
+	if rec.Counters[POSIX_ACCESS1_ACCESS] != 1024 || rec.Counters[POSIX_ACCESS1_COUNT] != 5 {
+		t.Errorf("ACCESS1 = %d x%d", rec.Counters[POSIX_ACCESS1_ACCESS], rec.Counters[POSIX_ACCESS1_COUNT])
+	}
+	if rec.Counters[POSIX_ACCESS2_ACCESS] != 4096 || rec.Counters[POSIX_ACCESS2_COUNT] != 3 {
+		t.Errorf("ACCESS2 = %d x%d", rec.Counters[POSIX_ACCESS2_ACCESS], rec.Counters[POSIX_ACCESS2_COUNT])
+	}
+}
+
+func snapshotNow(t *testing.T, r *rig) *Snapshot {
+	t.Helper()
+	var snap *Snapshot
+	r.run(t, func(th *sim.Thread) { snap = r.rt.Snapshot(th) })
+	return snap
+}
+
+func TestWriteCounters(t *testing.T) {
+	r := newRig(DefaultConfig())
+	r.run(t, func(th *sim.Thread) {
+		fd, err := r.c.Open(th, "/data/out", vfs.O_CREAT|vfs.O_WRONLY)
+		if err != nil {
+			t.Fatal(err)
+		}
+		r.c.Write(th, fd, make([]byte, 500))
+		r.c.Write(th, fd, make([]byte, 500))
+		r.c.Fsync(th, fd)
+		r.c.Close(th, fd)
+	})
+	rec := r.posixRec(t, "/data/out")
+	if rec.Counters[POSIX_WRITES] != 2 || rec.Counters[POSIX_BYTES_WRITTEN] != 1000 {
+		t.Errorf("WRITES=%d BYTES=%d", rec.Counters[POSIX_WRITES], rec.Counters[POSIX_BYTES_WRITTEN])
+	}
+	if rec.Counters[POSIX_CONSEC_WRITES] != 1 {
+		t.Errorf("CONSEC_WRITES = %d", rec.Counters[POSIX_CONSEC_WRITES])
+	}
+	if rec.Counters[POSIX_FSYNCS] != 1 {
+		t.Errorf("FSYNCS = %d", rec.Counters[POSIX_FSYNCS])
+	}
+	if rec.Counters[POSIX_SIZE_WRITE_100_1K] != 2 {
+		t.Errorf("SIZE_WRITE_100_1K = %d", rec.Counters[POSIX_SIZE_WRITE_100_1K])
+	}
+}
+
+func TestRWSwitches(t *testing.T) {
+	r := newRig(DefaultConfig())
+	r.fs.CreateFile("/data/rw", 4096)
+	r.run(t, func(th *sim.Thread) {
+		fd, _ := r.c.Open(th, "/data/rw", vfs.O_RDWR)
+		buf := make([]byte, 128)
+		r.c.Pread(th, fd, buf, 0)  // read
+		r.c.Pwrite(th, fd, buf, 0) // switch 1
+		r.c.Pwrite(th, fd, buf, 128)
+		r.c.Pread(th, fd, buf, 256) // switch 2
+		r.c.Close(th, fd)
+	})
+	rec := r.posixRec(t, "/data/rw")
+	if got := rec.Counters[POSIX_RW_SWITCHES]; got != 2 {
+		t.Errorf("RW_SWITCHES = %d", got)
+	}
+}
+
+func TestLseekTracksOffsetForRead(t *testing.T) {
+	r := newRig(DefaultConfig())
+	r.fs.CreateFile("/data/seek", 10000)
+	r.run(t, func(th *sim.Thread) {
+		fd, _ := r.c.Open(th, "/data/seek", vfs.O_RDONLY)
+		r.c.Lseek(th, fd, 5000, vfs.SeekSet)
+		buf := make([]byte, 100)
+		r.c.Read(th, fd, buf) // offset 5000 via shadow state
+		r.c.Close(th, fd)
+	})
+	rec := r.posixRec(t, "/data/seek")
+	if got := rec.Counters[POSIX_SEEKS]; got != 1 {
+		t.Errorf("SEEKS = %d", got)
+	}
+	if got := rec.Counters[POSIX_MAX_BYTE_READ]; got != 5099 {
+		t.Errorf("MAX_BYTE_READ = %d (lseek shadow offset broken)", got)
+	}
+	// Read at offset 5000 with no prior read: sequential, not consecutive.
+	if rec.Counters[POSIX_SEQ_READS] != 1 || rec.Counters[POSIX_CONSEC_READS] != 0 {
+		t.Errorf("SEQ=%d CONSEC=%d", rec.Counters[POSIX_SEQ_READS], rec.Counters[POSIX_CONSEC_READS])
+	}
+}
+
+func TestStatCounted(t *testing.T) {
+	r := newRig(DefaultConfig())
+	r.fs.CreateFile("/data/st", 42)
+	r.run(t, func(th *sim.Thread) {
+		if _, err := r.c.Stat(th, "/data/st"); err != nil {
+			t.Fatal(err)
+		}
+	})
+	rec := r.posixRec(t, "/data/st")
+	if rec.Counters[POSIX_STATS] != 1 {
+		t.Errorf("STATS = %d", rec.Counters[POSIX_STATS])
+	}
+	if rec.FCounters[POSIX_F_META_TIME] <= 0 {
+		t.Error("META_TIME not accumulated")
+	}
+}
+
+func TestStdioCheckpointPattern(t *testing.T) {
+	r := newRig(DefaultConfig())
+	r.run(t, func(th *sim.Thread) {
+		st, err := r.c.Fopen(th, "/data/model.ckpt", "w")
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := 0; i < 140; i++ { // the paper's ~140 fwrites per checkpoint
+			r.c.Fwrite(th, st, make([]byte, 64*1024))
+		}
+		r.c.Fclose(th, st)
+	})
+	recs := r.rt.Stdio.Records()
+	if len(recs) != 1 {
+		t.Fatalf("stdio records = %d", len(recs))
+	}
+	rec := recs[0]
+	if got := rec.Counters[STDIO_WRITES]; got != 140 {
+		t.Errorf("STDIO_WRITES = %d", got)
+	}
+	if got := rec.Counters[STDIO_BYTES_WRITTEN]; got != 140*64*1024 {
+		t.Errorf("STDIO_BYTES_WRITTEN = %d", got)
+	}
+	if got := rec.Counters[STDIO_OPENS]; got != 1 {
+		t.Errorf("STDIO_OPENS = %d", got)
+	}
+	// STDIO writes must NOT appear in the POSIX module: libc internals
+	// bypass the PLT.
+	for _, prec := range r.rt.Posix.Records() {
+		if prec.Counters[POSIX_WRITES] != 0 {
+			t.Error("stdio flush leaked into POSIX module")
+		}
+	}
+}
+
+func TestDXTSegments(t *testing.T) {
+	r := newRig(DefaultConfig())
+	r.fs.CreateFile("/data/tr", 3<<20)
+	r.run(t, func(th *sim.Thread) {
+		readWholeFileTFStyle(th, r.c, "/data/tr", 1<<20)
+	})
+	recs := r.rt.DXT.Records()
+	if len(recs) != 1 {
+		t.Fatalf("dxt records = %d", len(recs))
+	}
+	segs := recs[0].ReadSegs
+	if len(segs) != 4 { // 3 data + zero read
+		t.Fatalf("segments = %d", len(segs))
+	}
+	for i := 1; i < len(segs); i++ {
+		if segs[i].Start < segs[i-1].End {
+			t.Error("segments overlap in time for single thread")
+		}
+	}
+	last := segs[len(segs)-1]
+	if last.Length != 0 {
+		t.Errorf("final segment length = %d, want 0 (EOF probe)", last.Length)
+	}
+	if segs[0].Offset != 0 || segs[1].Offset != 1<<20 {
+		t.Errorf("segment offsets = %d, %d", segs[0].Offset, segs[1].Offset)
+	}
+}
+
+func TestDXTSegmentCap(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.MaxDXTSegsPerRecord = 3
+	r := newRig(cfg)
+	r.fs.CreateFile("/data/capped", 10<<20)
+	r.run(t, func(th *sim.Thread) {
+		readWholeFileTFStyle(th, r.c, "/data/capped", 1<<20)
+	})
+	rec := r.rt.DXT.Records()[0]
+	if len(rec.ReadSegs) != 3 {
+		t.Fatalf("segments = %d, want cap 3", len(rec.ReadSegs))
+	}
+	if rec.Dropped != 8 { // 11 total reads - 3 kept
+		t.Fatalf("dropped = %d", rec.Dropped)
+	}
+}
+
+func TestRecordCapUntracked(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.MaxRecordsPerModule = 2
+	r := newRig(cfg)
+	for _, n := range []string{"a", "b", "c", "d"} {
+		r.fs.CreateFile("/data/"+n, 100)
+	}
+	r.run(t, func(th *sim.Thread) {
+		for _, n := range []string{"a", "b", "c", "d"} {
+			fd, _ := r.c.Open(th, "/data/"+n, vfs.O_RDONLY)
+			r.c.Close(th, fd)
+		}
+	})
+	if got := r.rt.Posix.RecordCount(); got != 2 {
+		t.Fatalf("records = %d", got)
+	}
+	if r.rt.Posix.Untracked != 2 {
+		t.Fatalf("untracked = %d", r.rt.Posix.Untracked)
+	}
+}
+
+func TestSnapshotIsolation(t *testing.T) {
+	r := newRig(DefaultConfig())
+	r.fs.CreateFile("/data/s1", 1000)
+	var snap1 *Snapshot
+	r.run(t, func(th *sim.Thread) {
+		readWholeFileTFStyle(th, r.c, "/data/s1", 1<<20)
+		snap1 = r.rt.Snapshot(th)
+		readWholeFileTFStyle(th, r.c, "/data/s1", 1<<20)
+	})
+	rec1, _ := snap1.PosixByID(RecordID("/data/s1"))
+	if rec1.Counters[POSIX_READS] != 2 {
+		t.Fatalf("snapshot READS = %d", rec1.Counters[POSIX_READS])
+	}
+	// The live record advanced; the snapshot must not have.
+	live := r.posixRec(t, "/data/s1")
+	if live.Counters[POSIX_READS] != 4 {
+		t.Fatalf("live READS = %d", live.Counters[POSIX_READS])
+	}
+	if rec1.Counters[POSIX_READS] != 2 {
+		t.Fatal("snapshot mutated by later I/O")
+	}
+}
+
+func TestSnapshotDiffGivesSessionCounts(t *testing.T) {
+	r := newRig(DefaultConfig())
+	r.fs.CreateFile("/data/w1", 2000)
+	r.fs.CreateFile("/data/w2", 2000)
+	var before, after *Snapshot
+	r.run(t, func(th *sim.Thread) {
+		readWholeFileTFStyle(th, r.c, "/data/w1", 1<<20)
+		before = r.rt.Snapshot(th)
+		readWholeFileTFStyle(th, r.c, "/data/w2", 1<<20)
+		after = r.rt.Snapshot(th)
+	})
+	var sumBefore, sumAfter int64
+	for _, rec := range before.Posix {
+		sumBefore += rec.Counters[POSIX_BYTES_READ]
+	}
+	for _, rec := range after.Posix {
+		sumAfter += rec.Counters[POSIX_BYTES_READ]
+	}
+	if sumAfter-sumBefore != 2000 {
+		t.Fatalf("session bytes = %d, want 2000", sumAfter-sumBefore)
+	}
+	if after.Time <= before.Time {
+		t.Fatal("snapshot times not increasing")
+	}
+}
+
+func TestUninstrumentedWhenNotAttached(t *testing.T) {
+	// Without GOT patching, no records appear (transparent no-profiler
+	// baseline for the Fig 5 overhead study).
+	k := sim.NewKernel()
+	fs := vfs.New(vfs.DefaultConfig())
+	hdd := storage.NewHDD("sda", storage.DefaultHDDParams())
+	fs.AddMount(&vfs.Mount{Prefix: "/data", Dev: hdd, OpenMetaTrips: 1})
+	proc := dynload.NewProcess()
+	proc.LinkStartup(nil, libc.NewLibrary(fs))
+	rt := NewRuntime(DefaultConfig(), k.Now())
+	c := libc.Bind(proc)
+	fs.CreateFile("/data/x", 100)
+	k.Spawn("app", func(th *sim.Thread) {
+		fd, _ := c.Open(th, "/data/x", vfs.O_RDONLY)
+		c.Close(th, fd)
+	})
+	if err := k.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if rt.Posix.RecordCount() != 0 {
+		t.Fatal("records recorded without attachment")
+	}
+}
+
+func TestRecordIDStable(t *testing.T) {
+	a := RecordID("/data/file1")
+	b := RecordID("/data/file1")
+	c := RecordID("/data/file2")
+	if a != b {
+		t.Fatal("RecordID not deterministic")
+	}
+	if a == c {
+		t.Fatal("RecordID collision on different paths")
+	}
+}

@@ -1,0 +1,120 @@
+package darshan
+
+import "repro/internal/sim"
+
+// Segment is one DXT trace segment: a single read or write with its file
+// offset, length and wall-clock window (seconds since job start). This is
+// the per-operation detail tf-Darshan exports to the TraceViewer.
+type Segment struct {
+	Offset int64
+	Length int64
+	Start  float64
+	End    float64
+	TID    int
+}
+
+// DXTRecord holds the extended traces for one file, split by direction as
+// in DXT's posix module.
+type DXTRecord struct {
+	ID        uint64
+	ReadSegs  []Segment
+	WriteSegs []Segment
+	// Dropped counts segments discarded after the per-record memory
+	// bound was reached.
+	Dropped int64
+}
+
+// DXTModule implements Darshan eXtended Tracing for POSIX operations.
+type DXTModule struct {
+	rt      *Runtime
+	records map[uint64]*DXTRecord
+	order   []uint64
+}
+
+func newDXTModule(rt *Runtime) *DXTModule {
+	return &DXTModule{rt: rt, records: make(map[uint64]*DXTRecord)}
+}
+
+// RecordCount returns the number of traced files.
+func (m *DXTModule) RecordCount() int { return len(m.records) }
+
+// TotalSegments returns the count of stored segments across all records.
+func (m *DXTModule) TotalSegments() int64 {
+	var n int64
+	for _, r := range m.records {
+		n += int64(len(r.ReadSegs) + len(r.WriteSegs))
+	}
+	return n
+}
+
+// Records returns live records in first-seen order (not copies).
+func (m *DXTModule) Records() []*DXTRecord {
+	out := make([]*DXTRecord, 0, len(m.order))
+	for _, id := range m.order {
+		out = append(out, m.records[id])
+	}
+	return out
+}
+
+func (m *DXTModule) copyRecords() []DXTRecord {
+	out := make([]DXTRecord, 0, len(m.order))
+	for _, id := range m.order {
+		src := m.records[id]
+		out = append(out, DXTRecord{
+			ID:        src.ID,
+			ReadSegs:  append([]Segment(nil), src.ReadSegs...),
+			WriteSegs: append([]Segment(nil), src.WriteSegs...),
+			Dropped:   src.Dropped,
+		})
+	}
+	return out
+}
+
+func (m *DXTModule) recordFor(id uint64) *DXTRecord {
+	if rec, ok := m.records[id]; ok {
+		return rec
+	}
+	if len(m.records) >= m.rt.cfg.MaxRecordsPerModule {
+		return nil
+	}
+	rec := &DXTRecord{ID: id}
+	m.records[id] = rec
+	m.order = append(m.order, id)
+	return rec
+}
+
+func (m *DXTModule) addRead(t *sim.Thread, id uint64, offset, length int64, start, end float64) {
+	if !m.rt.cfg.EnableDXT {
+		return
+	}
+	rec := m.recordFor(id)
+	if rec == nil {
+		return
+	}
+	if len(rec.ReadSegs) >= m.rt.cfg.MaxDXTSegsPerRecord {
+		rec.Dropped++
+		return
+	}
+	if m.rt.cfg.DXTSegCPU > 0 {
+		t.Sleep(m.rt.cfg.DXTSegCPU)
+	}
+	rec.ReadSegs = append(rec.ReadSegs, Segment{Offset: offset, Length: length, Start: start, End: end, TID: t.ID()})
+}
+
+func (m *DXTModule) addWrite(t *sim.Thread, id uint64, offset, length int64, start, end float64) {
+	if !m.rt.cfg.EnableDXT {
+		return
+	}
+	rec := m.recordFor(id)
+	if rec == nil {
+		return
+	}
+	if len(rec.WriteSegs) >= m.rt.cfg.MaxDXTSegsPerRecord {
+		rec.Dropped++
+		return
+	}
+	if m.rt.cfg.DXTSegCPU > 0 {
+		t.Sleep(m.rt.cfg.DXTSegCPU)
+	}
+	rec.WriteSegs = append(rec.WriteSegs, Segment{Offset: offset, Length: length, Start: start, End: end, TID: t.ID()})
+}

@@ -1,0 +1,110 @@
+package darshan
+
+import (
+	"repro/internal/dynload"
+	"repro/internal/libc"
+	"repro/internal/sim"
+)
+
+// SonameDarshan is the soname of the instrumentation library.
+const SonameDarshan = "libdarshan.so"
+
+// Exported symbol names of the shared library. The first three are the
+// augmentation the paper adds to stock Darshan ("we implemented several
+// data extraction functions in the Darshan shared library"); the wrapper
+// factory is what the GOT patcher redirects symbols to.
+const (
+	SymWrapSymbol   = "darshan_wrap_symbol"
+	SymSnapshot     = "darshan_runtime_snapshot"
+	SymLookupName   = "darshan_lookup_record_name"
+	SymRuntimeState = "darshan_runtime_state"
+)
+
+// Exported function signatures (resolved via Dlsym).
+type (
+	// WrapSymbolFunc returns the instrumented replacement for an I/O
+	// symbol, wrapping the real implementation; ok is false for symbols
+	// Darshan does not instrument.
+	WrapSymbolFunc func(symbol string, real any) (wrapped any, ok bool)
+	// SnapshotFunc copies the module buffers at the current instant.
+	SnapshotFunc func(t *sim.Thread) *Snapshot
+	// LookupNameFunc resolves a record id to a file path.
+	LookupNameFunc func(id uint64) (string, bool)
+	// RuntimeStateFunc exposes the runtime itself (record counts etc.).
+	RuntimeStateFunc func() *Runtime
+)
+
+// WrapperFor returns the instrumented replacement for symbol around real.
+// Unknown symbols return ok=false and stay unpatched.
+func (rt *Runtime) WrapperFor(symbol string, real any) (any, bool) {
+	switch symbol {
+	case "open":
+		return rt.Posix.wrapOpen(real.(libc.OpenFunc)), true
+	case "close":
+		return rt.Posix.wrapClose(real.(libc.CloseFunc)), true
+	case "read":
+		return rt.Posix.wrapRead(real.(libc.ReadFunc)), true
+	case "pread":
+		return rt.Posix.wrapPread(real.(libc.PreadFunc)), true
+	case "write":
+		return rt.Posix.wrapWrite(real.(libc.WriteFunc)), true
+	case "pwrite":
+		return rt.Posix.wrapPwrite(real.(libc.PwriteFunc)), true
+	case "lseek":
+		return rt.Posix.wrapLseek(real.(libc.LseekFunc)), true
+	case "stat":
+		return rt.Posix.wrapStat(real.(libc.StatFunc)), true
+	case "fsync":
+		return rt.Posix.wrapFsync(real.(libc.FsyncFunc)), true
+	case "unlink":
+		return rt.Posix.wrapUnlink(real.(libc.UnlinkFunc)), true
+	case "fopen":
+		return rt.Stdio.wrapFopen(real.(libc.FopenFunc)), true
+	case "fread":
+		return rt.Stdio.wrapFread(real.(libc.FreadFunc)), true
+	case "fwrite":
+		return rt.Stdio.wrapFwrite(real.(libc.FwriteFunc)), true
+	case "fseek":
+		return rt.Stdio.wrapFseek(real.(libc.FseekFunc)), true
+	case "fflush":
+		return rt.Stdio.wrapFflush(real.(libc.FflushFunc)), true
+	case "fclose":
+		return rt.Stdio.wrapFclose(real.(libc.FcloseFunc)), true
+	}
+	return nil, false
+}
+
+// NewSharedLibrary packages the runtime as "libdarshan.so" for dlopen by
+// tf-Darshan's middle-man.
+func NewSharedLibrary(rt *Runtime) *dynload.Library {
+	lib := dynload.NewLibrary(SonameDarshan)
+	lib.Define(SymWrapSymbol, WrapSymbolFunc(rt.WrapperFor))
+	lib.Define(SymSnapshot, SnapshotFunc(rt.Snapshot))
+	lib.Define(SymLookupName, LookupNameFunc(rt.LookupName))
+	lib.Define(SymRuntimeState, RuntimeStateFunc(func() *Runtime { return rt }))
+	return lib
+}
+
+// NewPreloadLibrary builds an LD_PRELOAD-style interposition library: it
+// exports every I/O symbol of base wrapped with instrumentation, so
+// linking it ahead of libc instruments the whole application for its whole
+// lifetime — classic Darshan deployment, with no runtime start/stop
+// (paper Table I). Symbols Darshan does not instrument are re-exported
+// unchanged.
+func NewPreloadLibrary(rt *Runtime, base *dynload.Library) *dynload.Library {
+	lib := dynload.NewLibrary(SonameDarshan)
+	for _, s := range base.Symbols() {
+		real, _ := base.Sym(s)
+		if wrapped, ok := rt.WrapperFor(s, real); ok {
+			lib.Define(s, wrapped)
+		} else {
+			lib.Define(s, real)
+		}
+	}
+	// The extraction symbols ride along so tooling can still inspect.
+	lib.Define(SymWrapSymbol, WrapSymbolFunc(rt.WrapperFor))
+	lib.Define(SymSnapshot, SnapshotFunc(rt.Snapshot))
+	lib.Define(SymLookupName, LookupNameFunc(rt.LookupName))
+	lib.Define(SymRuntimeState, RuntimeStateFunc(func() *Runtime { return rt }))
+	return lib
+}

@@ -1,0 +1,304 @@
+package darshan
+
+import (
+	"compress/gzip"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+)
+
+// Log file layout: an 8-byte magic + u32 version header in the clear,
+// followed by one gzip stream holding the job record, the name table and
+// the per-module record blocks (real Darshan also writes a header in the
+// clear and libz-compressed regions behind it).
+var logMagic = [8]byte{'D', 'A', 'R', 'S', 'H', 'A', 'N', 0}
+
+// LogVersion is the format version written by this runtime.
+const LogVersion uint32 = 320 // mirrors 3.2.0-pre
+
+// ErrBadLog reports a malformed or foreign log file.
+var ErrBadLog = errors.New("darshan: bad log file")
+
+// Log is a parsed Darshan log.
+type Log struct {
+	Version  uint32
+	JobStart float64 // always 0: times are relative to job start
+	JobEnd   float64
+	NProcs   int64
+	Names    map[uint64]string
+	Posix    []PosixRecord
+	Stdio    []StdioRecord
+	DXT      []DXTRecord
+}
+
+// WriteLog serializes the runtime's records. endTime is the job end in
+// seconds since job start (Darshan writes its log at application exit).
+func WriteLog(w io.Writer, rt *Runtime, endTime float64) error {
+	if _, err := w.Write(logMagic[:]); err != nil {
+		return err
+	}
+	if err := binary.Write(w, binary.LittleEndian, LogVersion); err != nil {
+		return err
+	}
+	zw := gzip.NewWriter(w)
+	le := binary.LittleEndian
+	wr := func(v any) error { return binary.Write(zw, le, v) }
+
+	// Job record.
+	if err := wr(endTime); err != nil {
+		return err
+	}
+	if err := wr(int64(1)); err != nil { // nprocs: non-MPI runtime
+		return err
+	}
+
+	// Name table (first-seen order for determinism).
+	if err := wr(uint32(len(rt.nameOrder))); err != nil {
+		return err
+	}
+	for _, id := range rt.nameOrder {
+		name := rt.names[id]
+		if err := wr(id); err != nil {
+			return err
+		}
+		if err := wr(uint16(len(name))); err != nil {
+			return err
+		}
+		if _, err := zw.Write([]byte(name)); err != nil {
+			return err
+		}
+	}
+
+	// POSIX module block.
+	posix := rt.Posix.copyRecords()
+	if err := wr(uint32(len(posix))); err != nil {
+		return err
+	}
+	for i := range posix {
+		r := &posix[i]
+		if err := wr(r.ID); err != nil {
+			return err
+		}
+		if err := wr(int64(r.Rank)); err != nil {
+			return err
+		}
+		if err := wr(r.Counters[:]); err != nil {
+			return err
+		}
+		if err := wr(r.FCounters[:]); err != nil {
+			return err
+		}
+	}
+
+	// STDIO module block.
+	stdio := rt.Stdio.copyRecords()
+	if err := wr(uint32(len(stdio))); err != nil {
+		return err
+	}
+	for i := range stdio {
+		r := &stdio[i]
+		if err := wr(r.ID); err != nil {
+			return err
+		}
+		if err := wr(int64(r.Rank)); err != nil {
+			return err
+		}
+		if err := wr(r.Counters[:]); err != nil {
+			return err
+		}
+		if err := wr(r.FCounters[:]); err != nil {
+			return err
+		}
+	}
+
+	// DXT block.
+	dxt := rt.DXT.copyRecords()
+	if err := wr(uint32(len(dxt))); err != nil {
+		return err
+	}
+	writeSegs := func(segs []Segment) error {
+		if err := wr(uint32(len(segs))); err != nil {
+			return err
+		}
+		for _, s := range segs {
+			if err := wr(s.Offset); err != nil {
+				return err
+			}
+			if err := wr(s.Length); err != nil {
+				return err
+			}
+			if err := wr(s.Start); err != nil {
+				return err
+			}
+			if err := wr(s.End); err != nil {
+				return err
+			}
+			if err := wr(int32(s.TID)); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	for i := range dxt {
+		r := &dxt[i]
+		if err := wr(r.ID); err != nil {
+			return err
+		}
+		if err := wr(r.Dropped); err != nil {
+			return err
+		}
+		if err := writeSegs(r.ReadSegs); err != nil {
+			return err
+		}
+		if err := writeSegs(r.WriteSegs); err != nil {
+			return err
+		}
+	}
+	return zw.Close()
+}
+
+// ParseLog reads a log written by WriteLog.
+func ParseLog(r io.Reader) (*Log, error) {
+	var magic [8]byte
+	if _, err := io.ReadFull(r, magic[:]); err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrBadLog, err)
+	}
+	if magic != logMagic {
+		return nil, fmt.Errorf("%w: bad magic", ErrBadLog)
+	}
+	log := &Log{Names: make(map[uint64]string)}
+	le := binary.LittleEndian
+	if err := binary.Read(r, le, &log.Version); err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrBadLog, err)
+	}
+	zr, err := gzip.NewReader(r)
+	if err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrBadLog, err)
+	}
+	defer zr.Close()
+	rd := func(v any) error { return binary.Read(zr, le, v) }
+
+	if err := rd(&log.JobEnd); err != nil {
+		return nil, fmt.Errorf("%w: job record: %v", ErrBadLog, err)
+	}
+	if err := rd(&log.NProcs); err != nil {
+		return nil, fmt.Errorf("%w: job record: %v", ErrBadLog, err)
+	}
+
+	var nNames uint32
+	if err := rd(&nNames); err != nil {
+		return nil, fmt.Errorf("%w: name table: %v", ErrBadLog, err)
+	}
+	for i := uint32(0); i < nNames; i++ {
+		var id uint64
+		var ln uint16
+		if err := rd(&id); err != nil {
+			return nil, fmt.Errorf("%w: name table: %v", ErrBadLog, err)
+		}
+		if err := rd(&ln); err != nil {
+			return nil, fmt.Errorf("%w: name table: %v", ErrBadLog, err)
+		}
+		buf := make([]byte, ln)
+		if _, err := io.ReadFull(zr, buf); err != nil {
+			return nil, fmt.Errorf("%w: name table: %v", ErrBadLog, err)
+		}
+		log.Names[id] = string(buf)
+	}
+
+	var nPosix uint32
+	if err := rd(&nPosix); err != nil {
+		return nil, fmt.Errorf("%w: posix block: %v", ErrBadLog, err)
+	}
+	log.Posix = make([]PosixRecord, nPosix)
+	for i := range log.Posix {
+		rec := &log.Posix[i]
+		var rank int64
+		if err := rd(&rec.ID); err != nil {
+			return nil, fmt.Errorf("%w: posix block: %v", ErrBadLog, err)
+		}
+		if err := rd(&rank); err != nil {
+			return nil, fmt.Errorf("%w: posix block: %v", ErrBadLog, err)
+		}
+		rec.Rank = int(rank)
+		if err := rd(rec.Counters[:]); err != nil {
+			return nil, fmt.Errorf("%w: posix block: %v", ErrBadLog, err)
+		}
+		if err := rd(rec.FCounters[:]); err != nil {
+			return nil, fmt.Errorf("%w: posix block: %v", ErrBadLog, err)
+		}
+	}
+
+	var nStdio uint32
+	if err := rd(&nStdio); err != nil {
+		return nil, fmt.Errorf("%w: stdio block: %v", ErrBadLog, err)
+	}
+	log.Stdio = make([]StdioRecord, nStdio)
+	for i := range log.Stdio {
+		rec := &log.Stdio[i]
+		var rank int64
+		if err := rd(&rec.ID); err != nil {
+			return nil, fmt.Errorf("%w: stdio block: %v", ErrBadLog, err)
+		}
+		if err := rd(&rank); err != nil {
+			return nil, fmt.Errorf("%w: stdio block: %v", ErrBadLog, err)
+		}
+		rec.Rank = int(rank)
+		if err := rd(rec.Counters[:]); err != nil {
+			return nil, fmt.Errorf("%w: stdio block: %v", ErrBadLog, err)
+		}
+		if err := rd(rec.FCounters[:]); err != nil {
+			return nil, fmt.Errorf("%w: stdio block: %v", ErrBadLog, err)
+		}
+	}
+
+	var nDXT uint32
+	if err := rd(&nDXT); err != nil {
+		return nil, fmt.Errorf("%w: dxt block: %v", ErrBadLog, err)
+	}
+	log.DXT = make([]DXTRecord, nDXT)
+	readSegs := func() ([]Segment, error) {
+		var n uint32
+		if err := rd(&n); err != nil {
+			return nil, err
+		}
+		segs := make([]Segment, n)
+		for i := range segs {
+			s := &segs[i]
+			var tid int32
+			if err := rd(&s.Offset); err != nil {
+				return nil, err
+			}
+			if err := rd(&s.Length); err != nil {
+				return nil, err
+			}
+			if err := rd(&s.Start); err != nil {
+				return nil, err
+			}
+			if err := rd(&s.End); err != nil {
+				return nil, err
+			}
+			if err := rd(&tid); err != nil {
+				return nil, err
+			}
+			s.TID = int(tid)
+		}
+		return segs, nil
+	}
+	for i := range log.DXT {
+		rec := &log.DXT[i]
+		if err := rd(&rec.ID); err != nil {
+			return nil, fmt.Errorf("%w: dxt block: %v", ErrBadLog, err)
+		}
+		if err := rd(&rec.Dropped); err != nil {
+			return nil, fmt.Errorf("%w: dxt block: %v", ErrBadLog, err)
+		}
+		if rec.ReadSegs, err = readSegs(); err != nil {
+			return nil, fmt.Errorf("%w: dxt block: %v", ErrBadLog, err)
+		}
+		if rec.WriteSegs, err = readSegs(); err != nil {
+			return nil, fmt.Errorf("%w: dxt block: %v", ErrBadLog, err)
+		}
+	}
+	return log, nil
+}

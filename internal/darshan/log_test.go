@@ -1,0 +1,265 @@
+package darshan
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/sim"
+)
+
+func TestLogRoundTrip(t *testing.T) {
+	r := newRig(DefaultConfig())
+	r.fs.CreateFile("/data/a.jpg", 88*1024)
+	r.fs.CreateFile("/data/b.bytes", 4<<20)
+	r.run(t, func(th *sim.Thread) {
+		readWholeFileTFStyle(th, r.c, "/data/a.jpg", 1<<20)
+		readWholeFileTFStyle(th, r.c, "/data/b.bytes", 1<<20)
+		st, _ := r.c.Fopen(th, "/data/ckpt", "w")
+		r.c.Fwrite(th, st, make([]byte, 8192))
+		r.c.Fclose(th, st)
+	})
+
+	var buf bytes.Buffer
+	if err := WriteLog(&buf, r.rt, 12.5); err != nil {
+		t.Fatal(err)
+	}
+	log, err := ParseLog(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if log.Version != LogVersion || log.NProcs != 1 || log.JobEnd != 12.5 {
+		t.Fatalf("header = %+v", log)
+	}
+	if len(log.Posix) != 2 || len(log.Stdio) != 1 {
+		t.Fatalf("records: posix=%d stdio=%d", len(log.Posix), len(log.Stdio))
+	}
+	if log.Names[RecordID("/data/a.jpg")] != "/data/a.jpg" {
+		t.Fatal("name table wrong")
+	}
+	var a PosixRecord
+	found := false
+	for _, rec := range log.Posix {
+		if rec.ID == RecordID("/data/a.jpg") {
+			a, found = rec, true
+		}
+	}
+	if !found {
+		t.Fatal("a.jpg record missing")
+	}
+	live := r.posixRec(t, "/data/a.jpg")
+	if a.Counters[POSIX_READS] != live.Counters[POSIX_READS] ||
+		a.Counters[POSIX_BYTES_READ] != live.Counters[POSIX_BYTES_READ] {
+		t.Fatal("counters changed through log round trip")
+	}
+	if a.FCounters[POSIX_F_READ_TIME] != live.FCounters[POSIX_F_READ_TIME] {
+		t.Fatal("fcounters changed through log round trip")
+	}
+	// DXT segments round trip.
+	if len(log.DXT) != 2 {
+		t.Fatalf("dxt records = %d", len(log.DXT))
+	}
+	for _, rec := range log.DXT {
+		if rec.ID == RecordID("/data/b.bytes") && len(rec.ReadSegs) != 5 {
+			t.Fatalf("b.bytes segments = %d", len(rec.ReadSegs))
+		}
+	}
+}
+
+func TestParseLogRejectsGarbage(t *testing.T) {
+	if _, err := ParseLog(bytes.NewReader([]byte("not a log at all......."))); !errors.Is(err, ErrBadLog) {
+		t.Fatalf("err = %v", err)
+	}
+	if _, err := ParseLog(bytes.NewReader(nil)); !errors.Is(err, ErrBadLog) {
+		t.Fatalf("empty err = %v", err)
+	}
+	// Truncated after the magic.
+	var buf bytes.Buffer
+	buf.Write(logMagic[:])
+	if _, err := ParseLog(&buf); !errors.Is(err, ErrBadLog) {
+		t.Fatalf("truncated err = %v", err)
+	}
+}
+
+// Property: any mix of files and read patterns survives a log round trip
+// with counters intact.
+func TestPropertyLogRoundTrip(t *testing.T) {
+	f := func(nFiles uint8, sizes []uint32) bool {
+		n := int(nFiles%5) + 1
+		r := newRig(DefaultConfig())
+		paths := make([]string, n)
+		for i := 0; i < n; i++ {
+			sz := int64(1024)
+			if i < len(sizes) {
+				sz = int64(sizes[i]%3_000_000) + 1
+			}
+			paths[i] = "/data/f" + string(rune('0'+i))
+			r.fs.CreateFile(paths[i], sz)
+		}
+		ok := true
+		r.run(&testing.T{}, func(th *sim.Thread) {
+			for _, p := range paths {
+				readWholeFileTFStyle(th, r.c, p, 1<<20)
+			}
+		})
+		var buf bytes.Buffer
+		if err := WriteLog(&buf, r.rt, 1); err != nil {
+			return false
+		}
+		log, err := ParseLog(&buf)
+		if err != nil {
+			return false
+		}
+		if len(log.Posix) != n {
+			return false
+		}
+		for _, rec := range log.Posix {
+			live := r.rt.Posix.Records()
+			var match *PosixRecord
+			for _, lr := range live {
+				if lr.ID == rec.ID {
+					match = lr
+				}
+			}
+			if match == nil {
+				return false
+			}
+			for ci := PosixCounter(0); ci < POSIX_ACCESS1_ACCESS; ci++ {
+				if rec.Counters[ci] != match.Counters[ci] {
+					ok = false
+				}
+			}
+		}
+		return ok
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 15}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: total bytes read recorded by Darshan equals the sum of file
+// sizes for whole-file scans (accounting invariant).
+func TestPropertyBytesReadAccounting(t *testing.T) {
+	f := func(sizes []uint32) bool {
+		if len(sizes) == 0 || len(sizes) > 6 {
+			return true
+		}
+		r := newRig(DefaultConfig())
+		var want int64
+		paths := make([]string, len(sizes))
+		for i, s := range sizes {
+			sz := int64(s%2_000_000) + 1
+			want += sz
+			paths[i] = "/data/p" + string(rune('a'+i))
+			r.fs.CreateFile(paths[i], sz)
+		}
+		r.run(&testing.T{}, func(th *sim.Thread) {
+			for _, p := range paths {
+				readWholeFileTFStyle(th, r.c, p, 256<<10)
+			}
+		})
+		var got int64
+		for _, rec := range r.rt.Posix.Records() {
+			got += rec.Counters[POSIX_BYTES_READ]
+		}
+		return got == want
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: size histogram buckets sum to the number of reads.
+func TestPropertySizeBucketsSumToReads(t *testing.T) {
+	f := func(sizes []uint32, chunk uint32) bool {
+		if len(sizes) == 0 || len(sizes) > 5 {
+			return true
+		}
+		ck := int(chunk%(2<<20)) + 1
+		r := newRig(DefaultConfig())
+		paths := make([]string, len(sizes))
+		for i, s := range sizes {
+			paths[i] = "/data/q" + string(rune('a'+i))
+			r.fs.CreateFile(paths[i], int64(s%4_000_000)+1)
+		}
+		r.run(&testing.T{}, func(th *sim.Thread) {
+			for _, p := range paths {
+				readWholeFileTFStyle(th, r.c, p, ck)
+			}
+		})
+		for _, rec := range r.rt.Posix.Records() {
+			var sum int64
+			for b := POSIX_SIZE_READ_0_100; b <= POSIX_SIZE_READ_1G_PLUS; b++ {
+				sum += rec.Counters[b]
+			}
+			if sum != rec.Counters[POSIX_READS] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSizeBucketEdges(t *testing.T) {
+	cases := []struct {
+		size int64
+		want PosixCounter
+	}{
+		{0, POSIX_SIZE_READ_0_100},
+		{100, POSIX_SIZE_READ_0_100},
+		{101, POSIX_SIZE_READ_100_1K},
+		{1024, POSIX_SIZE_READ_100_1K},
+		{1025, POSIX_SIZE_READ_1K_10K},
+		{10 * 1024, POSIX_SIZE_READ_1K_10K},
+		{100 * 1024, POSIX_SIZE_READ_10K_100K},
+		{1 << 20, POSIX_SIZE_READ_100K_1M}, // exactly 1MiB: upper-inclusive
+		{1<<20 + 1, POSIX_SIZE_READ_1M_4M},
+		{4 << 20, POSIX_SIZE_READ_1M_4M},
+		{10 << 20, POSIX_SIZE_READ_4M_10M},
+		{100 << 20, POSIX_SIZE_READ_10M_100M},
+		{1 << 30, POSIX_SIZE_READ_100M_1G},
+		{1<<30 + 1, POSIX_SIZE_READ_1G_PLUS},
+	}
+	for _, c := range cases {
+		if got := readSizeBucket(c.size); got != c.want {
+			t.Errorf("readSizeBucket(%d) = %v, want %v", c.size, got, c.want)
+		}
+	}
+	if got := writeSizeBucket(1 << 20); got != POSIX_SIZE_WRITE_100K_1M {
+		t.Errorf("writeSizeBucket(1MiB) = %v", got)
+	}
+}
+
+func TestCounterNames(t *testing.T) {
+	if POSIX_OPENS.String() != "POSIX_OPENS" {
+		t.Error("posix counter name")
+	}
+	if POSIX_F_READ_TIME.String() != "POSIX_F_READ_TIME" {
+		t.Error("posix fcounter name")
+	}
+	if STDIO_WRITES.String() != "STDIO_WRITES" {
+		t.Error("stdio counter name")
+	}
+	if STDIO_F_WRITE_TIME.String() != "STDIO_F_WRITE_TIME" {
+		t.Error("stdio fcounter name")
+	}
+	if PosixCounter(-1).String() != "POSIX_UNKNOWN" {
+		t.Error("out of range name")
+	}
+	if len(posixCounterNames) != int(PosixNumCounters) {
+		t.Fatal("posix counter name table out of sync")
+	}
+	if len(posixFCounterNames) != int(PosixNumFCounters) {
+		t.Fatal("posix fcounter name table out of sync")
+	}
+	if len(stdioCounterNames) != int(StdioNumCounters) {
+		t.Fatal("stdio counter name table out of sync")
+	}
+	if len(stdioFCounterNames) != int(StdioNumFCounters) {
+		t.Fatal("stdio fcounter name table out of sync")
+	}
+}

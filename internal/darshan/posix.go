@@ -1,0 +1,386 @@
+package darshan
+
+import (
+	"repro/internal/libc"
+	"repro/internal/sim"
+	"repro/internal/vfs"
+)
+
+// PosixRecord is one file's POSIX-module record: the counter arrays that
+// darshan-parser reports and the internal access-pattern state Darshan
+// keeps per file at runtime.
+type PosixRecord struct {
+	ID        uint64
+	Rank      int // always 0: the non-MPI runtime the paper builds on
+	Counters  [PosixNumCounters]int64
+	FCounters [PosixNumFCounters]float64
+
+	accessSizes map[int64]int64
+	// lastByteRead/Written hold the offset of the last byte touched, the
+	// state behind Darshan's sequential/consecutive classification.
+	lastByteRead    int64
+	lastByteWritten int64
+	lastOpWasWrite  bool
+	everRead        bool
+	everWritten     bool
+}
+
+// Name is resolved through the runtime name registry by callers; records
+// themselves carry only the id, as in Darshan's binary format.
+
+// posixFD is the per-descriptor shadow state (Darshan tracks file offsets
+// itself since the libc offset is invisible to a preloaded wrapper).
+type posixFD struct {
+	rec    *PosixRecord
+	path   string
+	offset int64
+}
+
+// PosixModule instruments the POSIX I/O functions.
+type PosixModule struct {
+	rt        *Runtime
+	records   map[uint64]*PosixRecord
+	order     []uint64
+	fds       map[int]*posixFD
+	Untracked int64 // files beyond the record cap
+}
+
+func newPosixModule(rt *Runtime) *PosixModule {
+	return &PosixModule{
+		rt:      rt,
+		records: make(map[uint64]*PosixRecord),
+		fds:     make(map[int]*posixFD),
+	}
+}
+
+// RecordCount returns the number of tracked files.
+func (m *PosixModule) RecordCount() int { return len(m.records) }
+
+// Records returns the live records in first-seen order (not copies).
+func (m *PosixModule) Records() []*PosixRecord {
+	out := make([]*PosixRecord, 0, len(m.order))
+	for _, id := range m.order {
+		out = append(out, m.records[id])
+	}
+	return out
+}
+
+func (m *PosixModule) copyRecords() []PosixRecord {
+	out := make([]PosixRecord, 0, len(m.order))
+	for _, id := range m.order {
+		rec := *m.records[id] // value copy: counter arrays are copied
+		finalizeAccessCounters(&rec)
+		rec.accessSizes = nil
+		out = append(out, rec)
+	}
+	return out
+}
+
+// recordFor finds or creates the record for path, honouring the module
+// memory cap.
+func (m *PosixModule) recordFor(t *sim.Thread, path string) *PosixRecord {
+	id := RecordID(path)
+	if rec, ok := m.records[id]; ok {
+		return rec
+	}
+	if len(m.records) >= m.rt.cfg.MaxRecordsPerModule {
+		m.Untracked++
+		return nil
+	}
+	m.rt.chargeNewRecord(t)
+	rec := &PosixRecord{ID: id, accessSizes: make(map[int64]int64)}
+	m.records[id] = rec
+	m.order = append(m.order, id)
+	m.rt.registerName(id, path)
+	return rec
+}
+
+func maxI64(a, b int64) int64 {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+func maxF(a, b float64) float64 {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// setFirst sets a start timestamp only on first occurrence, Darshan's
+// convention for *_START_TIMESTAMP counters.
+func setFirst(f *float64, v float64) {
+	if *f == 0 {
+		*f = v
+	}
+}
+
+// recordOpen applies open semantics to rec.
+func (m *PosixModule) recordOpen(rec *PosixRecord, start, end float64) {
+	rec.Counters[POSIX_OPENS]++
+	setFirst(&rec.FCounters[POSIX_F_OPEN_START_TIMESTAMP], start)
+	rec.FCounters[POSIX_F_OPEN_END_TIMESTAMP] = end
+	rec.FCounters[POSIX_F_META_TIME] += end - start
+}
+
+// recordRead applies Darshan's read semantics: size is the *returned* byte
+// count, so TensorFlow's EOF-probing zero reads land in the 0–100 bucket
+// and count as consecutive — the signature behaviour of paper Figs. 7a/8.
+func (m *PosixModule) recordRead(t *sim.Thread, rec *PosixRecord, offset, size int64, start, end float64) {
+	rec.Counters[POSIX_READS]++
+	rec.Counters[readSizeBucket(size)]++
+	rec.accessSizes[size]++
+	if rec.everRead {
+		if offset > rec.lastByteRead {
+			rec.Counters[POSIX_SEQ_READS]++
+		}
+		if offset == rec.lastByteRead+1 {
+			rec.Counters[POSIX_CONSEC_READS]++
+		}
+	} else {
+		// First read: Darshan compares against initial state 0.
+		if offset > 0 {
+			rec.Counters[POSIX_SEQ_READS]++
+		}
+		if offset == 1 {
+			rec.Counters[POSIX_CONSEC_READS]++
+		}
+		rec.everRead = true
+	}
+	rec.lastByteRead = offset + size - 1
+	rec.Counters[POSIX_BYTES_READ] += size
+	rec.Counters[POSIX_MAX_BYTE_READ] = maxI64(rec.Counters[POSIX_MAX_BYTE_READ], offset+size-1)
+	if rec.lastOpWasWrite {
+		rec.Counters[POSIX_RW_SWITCHES]++
+	}
+	rec.lastOpWasWrite = false
+	setFirst(&rec.FCounters[POSIX_F_READ_START_TIMESTAMP], start)
+	rec.FCounters[POSIX_F_READ_END_TIMESTAMP] = end
+	rec.FCounters[POSIX_F_READ_TIME] += end - start
+	rec.FCounters[POSIX_F_MAX_READ_TIME] = maxF(rec.FCounters[POSIX_F_MAX_READ_TIME], end-start)
+	m.rt.DXT.addRead(t, rec.ID, offset, size, start, end)
+}
+
+// recordWrite applies Darshan's write semantics.
+func (m *PosixModule) recordWrite(t *sim.Thread, rec *PosixRecord, offset, size int64, start, end float64) {
+	rec.Counters[POSIX_WRITES]++
+	rec.Counters[writeSizeBucket(size)]++
+	rec.accessSizes[size]++
+	if rec.everWritten {
+		if offset > rec.lastByteWritten {
+			rec.Counters[POSIX_SEQ_WRITES]++
+		}
+		if offset == rec.lastByteWritten+1 {
+			rec.Counters[POSIX_CONSEC_WRITES]++
+		}
+	} else {
+		if offset > 0 {
+			rec.Counters[POSIX_SEQ_WRITES]++
+		}
+		if offset == 1 {
+			rec.Counters[POSIX_CONSEC_WRITES]++
+		}
+		rec.everWritten = true
+	}
+	rec.lastByteWritten = offset + size - 1
+	rec.Counters[POSIX_BYTES_WRITTEN] += size
+	rec.Counters[POSIX_MAX_BYTE_WRITTEN] = maxI64(rec.Counters[POSIX_MAX_BYTE_WRITTEN], offset+size-1)
+	if rec.everRead && !rec.lastOpWasWrite {
+		rec.Counters[POSIX_RW_SWITCHES]++
+	}
+	rec.lastOpWasWrite = true
+	setFirst(&rec.FCounters[POSIX_F_WRITE_START_TIMESTAMP], start)
+	rec.FCounters[POSIX_F_WRITE_END_TIMESTAMP] = end
+	rec.FCounters[POSIX_F_WRITE_TIME] += end - start
+	rec.FCounters[POSIX_F_MAX_WRITE_TIME] = maxF(rec.FCounters[POSIX_F_MAX_WRITE_TIME], end-start)
+	m.rt.DXT.addWrite(t, rec.ID, offset, size, start, end)
+}
+
+// wrapOpen builds the instrumented open(2).
+func (m *PosixModule) wrapOpen(real libc.OpenFunc) libc.OpenFunc {
+	return func(t *sim.Thread, path string, flags int) (int, error) {
+		start := m.rt.rel(t.Now())
+		fd, err := real(t, path, flags)
+		end := m.rt.rel(t.Now())
+		m.rt.instrument(t, func() {
+			if err != nil {
+				return
+			}
+			rec := m.recordFor(t, path)
+			if rec != nil {
+				m.recordOpen(rec, start, end)
+			}
+			m.fds[fd] = &posixFD{rec: rec, path: path}
+		})
+		return fd, err
+	}
+}
+
+func (m *PosixModule) wrapClose(real libc.CloseFunc) libc.CloseFunc {
+	return func(t *sim.Thread, fd int) error {
+		start := m.rt.rel(t.Now())
+		err := real(t, fd)
+		end := m.rt.rel(t.Now())
+		m.rt.instrument(t, func() {
+			if st, ok := m.fds[fd]; ok {
+				if st.rec != nil {
+					setFirst(&st.rec.FCounters[POSIX_F_CLOSE_START_TIMESTAMP], start)
+					st.rec.FCounters[POSIX_F_CLOSE_END_TIMESTAMP] = end
+					st.rec.FCounters[POSIX_F_META_TIME] += end - start
+				}
+				delete(m.fds, fd)
+			}
+		})
+		return err
+	}
+}
+
+func (m *PosixModule) wrapRead(real libc.ReadFunc) libc.ReadFunc {
+	return func(t *sim.Thread, fd int, buf []byte) (int, error) {
+		start := m.rt.rel(t.Now())
+		n, err := real(t, fd, buf)
+		end := m.rt.rel(t.Now())
+		m.rt.instrument(t, func() {
+			if err != nil || n < 0 {
+				return
+			}
+			if st, ok := m.fds[fd]; ok {
+				if st.rec != nil {
+					m.recordRead(t, st.rec, st.offset, int64(n), start, end)
+				}
+				st.offset += int64(n)
+			}
+		})
+		return n, err
+	}
+}
+
+func (m *PosixModule) wrapPread(real libc.PreadFunc) libc.PreadFunc {
+	return func(t *sim.Thread, fd int, buf []byte, off int64) (int, error) {
+		start := m.rt.rel(t.Now())
+		n, err := real(t, fd, buf, off)
+		end := m.rt.rel(t.Now())
+		m.rt.instrument(t, func() {
+			if err != nil || n < 0 {
+				return
+			}
+			if st, ok := m.fds[fd]; ok && st.rec != nil {
+				m.recordRead(t, st.rec, off, int64(n), start, end)
+			}
+		})
+		return n, err
+	}
+}
+
+func (m *PosixModule) wrapWrite(real libc.WriteFunc) libc.WriteFunc {
+	return func(t *sim.Thread, fd int, buf []byte) (int, error) {
+		start := m.rt.rel(t.Now())
+		n, err := real(t, fd, buf)
+		end := m.rt.rel(t.Now())
+		m.rt.instrument(t, func() {
+			if err != nil || n < 0 {
+				return
+			}
+			if st, ok := m.fds[fd]; ok {
+				if st.rec != nil {
+					m.recordWrite(t, st.rec, st.offset, int64(n), start, end)
+				}
+				st.offset += int64(n)
+			}
+		})
+		return n, err
+	}
+}
+
+func (m *PosixModule) wrapPwrite(real libc.PwriteFunc) libc.PwriteFunc {
+	return func(t *sim.Thread, fd int, buf []byte, off int64) (int, error) {
+		start := m.rt.rel(t.Now())
+		n, err := real(t, fd, buf, off)
+		end := m.rt.rel(t.Now())
+		m.rt.instrument(t, func() {
+			if err != nil || n < 0 {
+				return
+			}
+			if st, ok := m.fds[fd]; ok && st.rec != nil {
+				m.recordWrite(t, st.rec, off, int64(n), start, end)
+			}
+		})
+		return n, err
+	}
+}
+
+func (m *PosixModule) wrapLseek(real libc.LseekFunc) libc.LseekFunc {
+	return func(t *sim.Thread, fd int, off int64, whence int) (int64, error) {
+		start := m.rt.rel(t.Now())
+		pos, err := real(t, fd, off, whence)
+		end := m.rt.rel(t.Now())
+		m.rt.instrument(t, func() {
+			if err != nil {
+				return
+			}
+			if st, ok := m.fds[fd]; ok {
+				st.offset = pos
+				if st.rec != nil {
+					st.rec.Counters[POSIX_SEEKS]++
+					st.rec.FCounters[POSIX_F_META_TIME] += end - start
+				}
+			}
+		})
+		return pos, err
+	}
+}
+
+func (m *PosixModule) wrapStat(real libc.StatFunc) libc.StatFunc {
+	return func(t *sim.Thread, path string) (fi vfs.FileInfo, err error) {
+		start := m.rt.rel(t.Now())
+		fi, err = real(t, path)
+		end := m.rt.rel(t.Now())
+		m.rt.instrument(t, func() {
+			if err != nil {
+				return
+			}
+			if rec := m.recordFor(t, path); rec != nil {
+				rec.Counters[POSIX_STATS]++
+				rec.FCounters[POSIX_F_META_TIME] += end - start
+			}
+		})
+		return fi, err
+	}
+}
+
+func (m *PosixModule) wrapFsync(real libc.FsyncFunc) libc.FsyncFunc {
+	return func(t *sim.Thread, fd int) error {
+		start := m.rt.rel(t.Now())
+		err := real(t, fd)
+		end := m.rt.rel(t.Now())
+		m.rt.instrument(t, func() {
+			if err != nil {
+				return
+			}
+			if st, ok := m.fds[fd]; ok && st.rec != nil {
+				st.rec.Counters[POSIX_FSYNCS]++
+				st.rec.FCounters[POSIX_F_WRITE_TIME] += end - start
+			}
+		})
+		return err
+	}
+}
+
+func (m *PosixModule) wrapUnlink(real libc.UnlinkFunc) libc.UnlinkFunc {
+	return func(t *sim.Thread, path string) error {
+		start := m.rt.rel(t.Now())
+		err := real(t, path)
+		end := m.rt.rel(t.Now())
+		m.rt.instrument(t, func() {
+			if err != nil {
+				return
+			}
+			if rec := m.recordFor(t, path); rec != nil {
+				rec.FCounters[POSIX_F_META_TIME] += end - start
+			}
+		})
+		return err
+	}
+}

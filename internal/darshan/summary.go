@@ -1,0 +1,105 @@
+package darshan
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// LogSummary holds the derived metrics darshan-parser reports with
+// --perf/--file: aggregate transfer volumes, an aggregate performance
+// estimate, and the file-category breakdown.
+type LogSummary struct {
+	RunSeconds float64
+
+	TotalBytesRead    int64
+	TotalBytesWritten int64
+	TotalOpens        int64
+	TotalReads        int64
+	TotalWrites       int64
+
+	// AggPerfMBps estimates aggregate POSIX performance: total bytes
+	// moved over total I/O time (one process, so no slowest-rank
+	// reduction is needed).
+	AggPerfMBps float64
+	// CumulIOSeconds is the summed per-file read+write+meta time.
+	CumulIOSeconds float64
+
+	// File categories, as in darshan-parser --file.
+	TotalFiles     int
+	ReadOnlyFiles  int
+	WriteOnlyFiles int
+	ReadWriteFiles int
+
+	// Top files by bytes moved (descending), up to 10.
+	TopFiles []FileVolume
+}
+
+// FileVolume is one file's transfer volume.
+type FileVolume struct {
+	Name  string
+	Bytes int64
+}
+
+// Summarize derives the summary from a parsed log.
+func Summarize(log *Log) *LogSummary {
+	s := &LogSummary{RunSeconds: log.JobEnd, TotalFiles: len(log.Posix)}
+	var ioTime float64
+	var volumes []FileVolume
+	for i := range log.Posix {
+		rec := &log.Posix[i]
+		br := rec.Counters[POSIX_BYTES_READ]
+		bw := rec.Counters[POSIX_BYTES_WRITTEN]
+		s.TotalBytesRead += br
+		s.TotalBytesWritten += bw
+		s.TotalOpens += rec.Counters[POSIX_OPENS]
+		s.TotalReads += rec.Counters[POSIX_READS]
+		s.TotalWrites += rec.Counters[POSIX_WRITES]
+		ioTime += rec.FCounters[POSIX_F_READ_TIME] +
+			rec.FCounters[POSIX_F_WRITE_TIME] +
+			rec.FCounters[POSIX_F_META_TIME]
+		switch {
+		case rec.Counters[POSIX_READS] > 0 && rec.Counters[POSIX_WRITES] > 0:
+			s.ReadWriteFiles++
+		case rec.Counters[POSIX_READS] > 0:
+			s.ReadOnlyFiles++
+		case rec.Counters[POSIX_WRITES] > 0:
+			s.WriteOnlyFiles++
+		}
+		volumes = append(volumes, FileVolume{Name: log.Names[rec.ID], Bytes: br + bw})
+	}
+	s.CumulIOSeconds = ioTime
+	if ioTime > 0 {
+		s.AggPerfMBps = float64(s.TotalBytesRead+s.TotalBytesWritten) / 1e6 / ioTime
+	}
+	sort.Slice(volumes, func(i, j int) bool {
+		if volumes[i].Bytes != volumes[j].Bytes {
+			return volumes[i].Bytes > volumes[j].Bytes
+		}
+		return volumes[i].Name < volumes[j].Name
+	})
+	if len(volumes) > 10 {
+		volumes = volumes[:10]
+	}
+	s.TopFiles = volumes
+	return s
+}
+
+// Render prints the summary in darshan-parser's --perf style.
+func (s *LogSummary) Render() string {
+	var b strings.Builder
+	b.WriteString("# performance\n")
+	fmt.Fprintf(&b, "# total_bytes: %d (read %d, written %d)\n",
+		s.TotalBytesRead+s.TotalBytesWritten, s.TotalBytesRead, s.TotalBytesWritten)
+	fmt.Fprintf(&b, "# run time: %.4f s, cumulative I/O time: %.4f s\n", s.RunSeconds, s.CumulIOSeconds)
+	fmt.Fprintf(&b, "# agg_perf_by_cumul: %.4f MiB/s\n", s.AggPerfMBps/1.048576)
+	fmt.Fprintf(&b, "# ops: %d opens, %d reads, %d writes\n", s.TotalOpens, s.TotalReads, s.TotalWrites)
+	b.WriteString("# files\n")
+	fmt.Fprintf(&b, "# total: %d, read-only: %d, write-only: %d, read-write: %d\n",
+		s.TotalFiles, s.ReadOnlyFiles, s.WriteOnlyFiles, s.ReadWriteFiles)
+	b.WriteString("# top files by volume\n")
+	for _, f := range s.TopFiles {
+		fmt.Fprintf(&b, "#   %12d  %s\n", f.Bytes, f.Name)
+	}
+	return b.String()
+}

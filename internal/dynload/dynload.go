@@ -1,0 +1,232 @@
+// Package dynload simulates the pieces of the ELF dynamic linker that
+// tf-Darshan's runtime attachment relies on (paper Fig. 2): shared
+// libraries as symbol tables, a per-process Global Offset Table (GOT)
+// through which all inter-library calls resolve, dlopen/dlsym, and GOT
+// patching.
+//
+// The TensorFlow-like runtime makes every I/O call through a GOT entry, so
+// redirecting the entry to a Darshan wrapper instruments the call stream
+// transparently — and restoring the entry detaches instrumentation at
+// runtime, the capability Table I credits to tf-Darshan over plain
+// LD_PRELOAD Darshan. An LD_PRELOAD-style link mode is also provided so the
+// classic whole-application Darshan deployment can be simulated for
+// comparison.
+package dynload
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+)
+
+// Errors returned by loader operations.
+var (
+	ErrNoLibrary  = errors.New("dynload: library not found")
+	ErrNoSymbol   = errors.New("dynload: undefined symbol")
+	ErrNotPatched = errors.New("dynload: symbol not patched")
+)
+
+// Library is a shared object: a named set of exported symbols. Symbol
+// values are ordinary Go function values; callers type-assert to the
+// signature declared by the owning interface package (internal/libc for
+// the C library surface).
+type Library struct {
+	name string
+	syms map[string]any
+	defs []string
+}
+
+// NewLibrary returns an empty library with the given soname.
+func NewLibrary(name string) *Library {
+	return &Library{name: name, syms: make(map[string]any)}
+}
+
+// Name returns the soname.
+func (l *Library) Name() string { return l.name }
+
+// Define exports fn under the given symbol name.
+func (l *Library) Define(symbol string, fn any) {
+	if fn == nil {
+		panic("dynload: nil symbol definition")
+	}
+	if _, dup := l.syms[symbol]; !dup {
+		l.defs = append(l.defs, symbol)
+	}
+	l.syms[symbol] = fn
+}
+
+// Sym looks up an exported symbol.
+func (l *Library) Sym(symbol string) (any, bool) {
+	fn, ok := l.syms[symbol]
+	return fn, ok
+}
+
+// Symbols returns exported symbol names in definition order.
+func (l *Library) Symbols() []string {
+	return append([]string(nil), l.defs...)
+}
+
+// GOTEntry is one relocated slot in the process's Global Offset Table.
+// Call sites hold the entry pointer (as compiled code holds the GOT slot
+// address) and resolve the target on every call, so a runtime patch takes
+// effect immediately for all callers.
+type GOTEntry struct {
+	Symbol   string
+	fn       any
+	original any
+	patched  bool
+	// Provider is the soname the symbol originally resolved from.
+	Provider string
+}
+
+// Fn returns the entry's current target.
+func (e *GOTEntry) Fn() any { return e.fn }
+
+// Patched reports whether the entry has been redirected.
+func (e *GOTEntry) Patched() bool { return e.patched }
+
+// Process is a process image: loaded libraries and the GOT binding the
+// main program's imported symbols.
+type Process struct {
+	loadable map[string]*Library // .so files available to dlopen
+	loaded   map[string]*Library
+	got      map[string]*GOTEntry
+	gotOrder []string
+}
+
+// NewProcess returns an empty process image.
+func NewProcess() *Process {
+	return &Process{
+		loadable: make(map[string]*Library),
+		loaded:   make(map[string]*Library),
+		got:      make(map[string]*GOTEntry),
+	}
+}
+
+// Install makes lib available for dlopen (like placing the .so on the
+// library search path).
+func (p *Process) Install(lib *Library) { p.loadable[lib.Name()] = lib }
+
+// LinkStartup performs load-time linking: every symbol exported by libs is
+// relocated into the GOT, first definition wins. Libraries in preload take
+// precedence over libs, emulating LD_PRELOAD interposition.
+func (p *Process) LinkStartup(preload []*Library, libs ...*Library) {
+	link := func(l *Library) {
+		p.loaded[l.Name()] = l
+		for _, s := range l.Symbols() {
+			if _, exists := p.got[s]; exists {
+				continue // first definition wins, as in ELF symbol resolution
+			}
+			fn, _ := l.Sym(s)
+			p.got[s] = &GOTEntry{Symbol: s, fn: fn, original: fn, Provider: l.Name()}
+			p.gotOrder = append(p.gotOrder, s)
+		}
+	}
+	for _, l := range preload {
+		link(l)
+	}
+	for _, l := range libs {
+		link(l)
+	}
+}
+
+// Dlopen loads an installed library at runtime. Unlike LinkStartup it does
+// not relocate the library's symbols into the GOT — exactly why tf-Darshan
+// must patch the GOT itself after dlopen'ing libdarshan.
+func (p *Process) Dlopen(name string) (*Library, error) {
+	if l, ok := p.loaded[name]; ok {
+		return l, nil
+	}
+	l, ok := p.loadable[name]
+	if !ok {
+		return nil, fmt.Errorf("%w: %s", ErrNoLibrary, name)
+	}
+	p.loaded[name] = l
+	return l, nil
+}
+
+// Dlsym resolves a symbol from a dlopen'ed library.
+func (p *Process) Dlsym(lib *Library, symbol string) (any, error) {
+	fn, ok := lib.Sym(symbol)
+	if !ok {
+		return nil, fmt.Errorf("%w: %s in %s", ErrNoSymbol, symbol, lib.Name())
+	}
+	return fn, nil
+}
+
+// GOT returns the entry for symbol; call sites cache the pointer like
+// compiled PLT stubs cache GOT slot addresses.
+func (p *Process) GOT(symbol string) (*GOTEntry, error) {
+	e, ok := p.got[symbol]
+	if !ok {
+		return nil, fmt.Errorf("%w: %s", ErrNoSymbol, symbol)
+	}
+	return e, nil
+}
+
+// MustGOT is GOT for symbols the program cannot run without.
+func (p *Process) MustGOT(symbol string) *GOTEntry {
+	e, err := p.GOT(symbol)
+	if err != nil {
+		panic(err)
+	}
+	return e
+}
+
+// ScanGOT returns the GOT symbols accepted by match, in relocation order.
+// tf-Darshan's middle-man uses this to find the I/O symbols to redirect.
+func (p *Process) ScanGOT(match func(symbol string) bool) []string {
+	var out []string
+	for _, s := range p.gotOrder {
+		if match == nil || match(s) {
+			out = append(out, s)
+		}
+	}
+	return out
+}
+
+// PatchGOT redirects symbol to fn, returning the previous target so the
+// interposer can forward to the real implementation.
+func (p *Process) PatchGOT(symbol string, fn any) (prev any, err error) {
+	e, ok := p.got[symbol]
+	if !ok {
+		return nil, fmt.Errorf("%w: %s", ErrNoSymbol, symbol)
+	}
+	prev = e.fn
+	e.fn = fn
+	e.patched = true
+	return prev, nil
+}
+
+// RestoreGOT resets a patched symbol to its load-time target.
+func (p *Process) RestoreGOT(symbol string) error {
+	e, ok := p.got[symbol]
+	if !ok {
+		return fmt.Errorf("%w: %s", ErrNoSymbol, symbol)
+	}
+	if !e.patched {
+		return fmt.Errorf("%w: %s", ErrNotPatched, symbol)
+	}
+	e.fn = e.original
+	e.patched = false
+	return nil
+}
+
+// PatchedSymbols lists currently redirected symbols, sorted.
+func (p *Process) PatchedSymbols() []string {
+	var out []string
+	for s, e := range p.got {
+		if e.patched {
+			out = append(out, s)
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Loaded reports whether the named library has been loaded (startup link
+// or dlopen).
+func (p *Process) Loaded(name string) bool {
+	_, ok := p.loaded[name]
+	return ok
+}

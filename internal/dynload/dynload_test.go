@@ -1,0 +1,156 @@
+package dynload
+
+import (
+	"errors"
+	"testing"
+)
+
+type addFunc func(int) int
+
+func newLibc() *Library {
+	l := NewLibrary("libc.so")
+	l.Define("add", addFunc(func(x int) int { return x + 1 }))
+	l.Define("sub", addFunc(func(x int) int { return x - 1 }))
+	return l
+}
+
+func TestLinkStartupResolvesSymbols(t *testing.T) {
+	p := NewProcess()
+	p.LinkStartup(nil, newLibc())
+	e := p.MustGOT("add")
+	if got := e.Fn().(addFunc)(1); got != 2 {
+		t.Fatalf("add(1) = %d", got)
+	}
+	if e.Provider != "libc.so" {
+		t.Fatalf("provider = %s", e.Provider)
+	}
+	if e.Patched() {
+		t.Fatal("fresh entry reports patched")
+	}
+}
+
+func TestFirstDefinitionWins(t *testing.T) {
+	p := NewProcess()
+	other := NewLibrary("libother.so")
+	other.Define("add", addFunc(func(x int) int { return x + 100 }))
+	p.LinkStartup(nil, newLibc(), other)
+	if got := p.MustGOT("add").Fn().(addFunc)(1); got != 2 {
+		t.Fatalf("add(1) = %d, libc should win", got)
+	}
+}
+
+func TestPreloadTakesPrecedence(t *testing.T) {
+	p := NewProcess()
+	pre := NewLibrary("libdarshan.so")
+	pre.Define("add", addFunc(func(x int) int { return x + 100 }))
+	p.LinkStartup([]*Library{pre}, newLibc())
+	if got := p.MustGOT("add").Fn().(addFunc)(1); got != 101 {
+		t.Fatalf("add(1) = %d, preload should win", got)
+	}
+	if p.MustGOT("add").Provider != "libdarshan.so" {
+		t.Fatalf("provider = %s", p.MustGOT("add").Provider)
+	}
+}
+
+func TestDlopenRequiresInstall(t *testing.T) {
+	p := NewProcess()
+	if _, err := p.Dlopen("libdarshan.so"); !errors.Is(err, ErrNoLibrary) {
+		t.Fatalf("err = %v", err)
+	}
+	lib := NewLibrary("libdarshan.so")
+	lib.Define("darshan_core_export", addFunc(func(x int) int { return x }))
+	p.Install(lib)
+	got, err := p.Dlopen("libdarshan.so")
+	if err != nil || got != lib {
+		t.Fatalf("Dlopen = %v, %v", got, err)
+	}
+	if !p.Loaded("libdarshan.so") {
+		t.Fatal("not marked loaded")
+	}
+	// Dlopen must NOT relocate symbols into the GOT.
+	if _, err := p.GOT("darshan_core_export"); !errors.Is(err, ErrNoSymbol) {
+		t.Fatalf("dlopen leaked symbols into GOT: %v", err)
+	}
+}
+
+func TestDlsym(t *testing.T) {
+	p := NewProcess()
+	lib := NewLibrary("libdarshan.so")
+	lib.Define("lookup_record_name", addFunc(func(x int) int { return x * 2 }))
+	p.Install(lib)
+	l, _ := p.Dlopen("libdarshan.so")
+	fn, err := p.Dlsym(l, "lookup_record_name")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := fn.(addFunc)(21); got != 42 {
+		t.Fatalf("dlsym'd fn = %d", got)
+	}
+	if _, err := p.Dlsym(l, "missing"); !errors.Is(err, ErrNoSymbol) {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestPatchRedirectsExistingCallSites(t *testing.T) {
+	p := NewProcess()
+	p.LinkStartup(nil, newLibc())
+	// A call site binds the entry pointer before the patch, as compiled
+	// code would.
+	site := p.MustGOT("add")
+	prev, err := p.PatchGOT("add", addFunc(func(x int) int {
+		return site.original.(addFunc)(x) + 1000 // wrapper forwards to real
+	}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if prev.(addFunc)(1) != 2 {
+		t.Fatal("PatchGOT returned wrong previous target")
+	}
+	if got := site.Fn().(addFunc)(1); got != 1002 {
+		t.Fatalf("patched call = %d", got)
+	}
+	if !site.Patched() {
+		t.Fatal("entry not marked patched")
+	}
+	if err := p.RestoreGOT("add"); err != nil {
+		t.Fatal(err)
+	}
+	if got := site.Fn().(addFunc)(1); got != 2 {
+		t.Fatalf("restored call = %d", got)
+	}
+	if err := p.RestoreGOT("add"); !errors.Is(err, ErrNotPatched) {
+		t.Fatalf("double restore err = %v", err)
+	}
+}
+
+func TestScanGOT(t *testing.T) {
+	p := NewProcess()
+	p.LinkStartup(nil, newLibc())
+	all := p.ScanGOT(nil)
+	if len(all) != 2 || all[0] != "add" || all[1] != "sub" {
+		t.Fatalf("ScanGOT = %v", all)
+	}
+	ioOnly := p.ScanGOT(func(s string) bool { return s == "sub" })
+	if len(ioOnly) != 1 || ioOnly[0] != "sub" {
+		t.Fatalf("filtered scan = %v", ioOnly)
+	}
+}
+
+func TestPatchedSymbols(t *testing.T) {
+	p := NewProcess()
+	p.LinkStartup(nil, newLibc())
+	p.PatchGOT("sub", addFunc(func(x int) int { return 0 }))
+	p.PatchGOT("add", addFunc(func(x int) int { return 0 }))
+	got := p.PatchedSymbols()
+	if len(got) != 2 || got[0] != "add" || got[1] != "sub" {
+		t.Fatalf("PatchedSymbols = %v", got)
+	}
+}
+
+func TestPatchUnknownSymbolFails(t *testing.T) {
+	p := NewProcess()
+	p.LinkStartup(nil, newLibc())
+	if _, err := p.PatchGOT("mmap", addFunc(func(x int) int { return 0 })); !errors.Is(err, ErrNoSymbol) {
+		t.Fatalf("err = %v", err)
+	}
+}

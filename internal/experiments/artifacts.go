@@ -1,0 +1,56 @@
+package experiments
+
+import (
+	"bytes"
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/darshan"
+)
+
+// RunArtifacts are the on-disk outputs of a profiled run (Table I's
+// "Outputs: Darshan log, Protobuf" plus the TraceViewer document).
+type RunArtifacts struct {
+	DarshanLog  []byte
+	TraceJSONGz []byte
+	ProfilePB   []byte
+}
+
+// ProduceArtifacts runs one profiled case-study epoch and serializes its
+// artifacts: the classic Darshan binary log (readable by darshan-parser
+// and dxt-parser), the trace.json.gz TraceViewer document and the analysis
+// protobuf.
+func ProduceArtifacts(c Config, useCase string) (*RunArtifacts, error) {
+	var setup *trainSetup
+	var err error
+	switch useCase {
+	case "imagenet":
+		setup, err = imagenetSetup(c, 1)
+	case "malware":
+		setup, _, err = malwareSetup(c, 1)
+	default:
+		return nil, fmt.Errorf("unknown use case %q (want imagenet or malware)", useCase)
+	}
+	if err != nil {
+		return nil, err
+	}
+	setup.profileAll = true
+	out, err := setup.run()
+	if err != nil {
+		return nil, err
+	}
+
+	exported, err := core.Export(out.tb.Space, setup.handle.Last, out.tb.Session.StartNs)
+	if err != nil {
+		return nil, err
+	}
+	var logBuf bytes.Buffer
+	if err := darshan.WriteLog(&logBuf, setup.machine.Darshan, out.wallSeconds); err != nil {
+		return nil, err
+	}
+	return &RunArtifacts{
+		DarshanLog:  logBuf.Bytes(),
+		TraceJSONGz: exported.TraceJSONGz,
+		ProfilePB:   exported.ProfilePB,
+	}, nil
+}

@@ -1,0 +1,270 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/core"
+	"repro/internal/platform"
+	"repro/internal/tensorboard"
+	"repro/internal/tf/profiler"
+	"repro/internal/workload"
+)
+
+// CaseStudyResult is a profiled training epoch (Figs. 7a/7b/9/11a/11b).
+type CaseStudyResult struct {
+	Artifact string
+	Label    string
+
+	BandwidthMBps float64
+	Opens         int64
+	Reads         int64
+	ZeroReads     int64
+	SeqReads      int64
+	ConsecReads   int64
+	FilesAccessed int
+	BytesReadMB   float64
+	InputBoundPct float64
+	WallSec       float64
+
+	ReadHist []int64
+	FileHist []int64
+
+	Pages string // rendered TensorBoard pages
+}
+
+// ID implements Result.
+func (r *CaseStudyResult) ID() string { return r.Artifact }
+
+// Render implements Result.
+func (r *CaseStudyResult) Render() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s: %s\n", r.Artifact, r.Label)
+	b.WriteString(r.Pages)
+	return b.String()
+}
+
+// ZeroReadFraction returns zero-length reads over all reads.
+func (r *CaseStudyResult) ZeroReadFraction() float64 {
+	if r.Reads == 0 {
+		return 0
+	}
+	return float64(r.ZeroReads) / float64(r.Reads)
+}
+
+// SeqFraction returns sequential reads over all reads.
+func (r *CaseStudyResult) SeqFraction() float64 {
+	if r.Reads == 0 {
+		return 0
+	}
+	return float64(r.SeqReads) / float64(r.Reads)
+}
+
+// Metrics implements Result.
+func (r *CaseStudyResult) Metrics() map[string]float64 {
+	return map[string]float64{
+		"bandwidth_MBps":  r.BandwidthMBps,
+		"opens":           float64(r.Opens),
+		"reads":           float64(r.Reads),
+		"zero_read_frac":  r.ZeroReadFraction(),
+		"seq_read_frac":   r.SeqFraction(),
+		"files":           float64(r.FilesAccessed),
+		"input_bound_pct": r.InputBoundPct,
+		"wall_seconds":    r.WallSec,
+	}
+}
+
+// runCaseStudy executes a fully profiled epoch and assembles the result
+// from the tf-Darshan analysis and the TensorBoard pages.
+func runCaseStudy(artifact, label string, setup *trainSetup) (*CaseStudyResult, error) {
+	setup.profileAll = true
+	out, err := setup.run()
+	if err != nil {
+		return nil, err
+	}
+	a := setup.handle.Last
+	if a == nil {
+		return nil, fmt.Errorf("%s: no tf-darshan analysis collected", artifact)
+	}
+	pd := &tensorboard.ProfileData{
+		Run:      artifact,
+		History:  out.history,
+		Analysis: a,
+		Space:    out.tb.Space,
+	}
+	if out.tb.Session != nil {
+		pd.SessionStartNs = out.tb.Session.StartNs
+	}
+	res := &CaseStudyResult{
+		Artifact:      artifact,
+		Label:         label,
+		BandwidthMBps: a.ReadBandwidthMBps(),
+		Opens:         a.Opens,
+		Reads:         a.Reads,
+		ZeroReads:     a.ZeroReads,
+		SeqReads:      a.SeqReads,
+		ConsecReads:   a.ConsecReads,
+		FilesAccessed: a.FilesAccessed,
+		BytesReadMB:   float64(a.BytesRead) / 1e6,
+		InputBoundPct: out.history.InputBoundFraction() * 100,
+		WallSec:       out.wallSeconds,
+		ReadHist:      append([]int64(nil), a.ReadSizeHist.Counts...),
+		FileHist:      append([]int64(nil), a.FileSizeHist.Counts...),
+		Pages:         pd.OverviewText() + "\n" + pd.InputPipelineText(),
+	}
+	return res, nil
+}
+
+// imagenetSetup builds the ImageNet case-study configuration on
+// Kebnekaise: batch 256, prefetch 10, one full epoch profiled.
+func imagenetSetup(c Config, threads int) (*trainSetup, error) {
+	m := platform.NewKebnekaise(platform.Options{})
+	h := registerTfDarshan(m)
+	d, err := workload.BuildImageNet(m.FS, workload.ImageNetSpec(platform.KebnekaiseLustre+"/imagenet", c.Scale))
+	if err != nil {
+		return nil, err
+	}
+	steps := len(d.Paths) / 256
+	if steps < 1 {
+		steps = 1
+	}
+	return &trainSetup{
+		machine: m, handle: h, paths: d.Paths, mapFn: workload.ImageNetMap,
+		model: workload.AlexNet(), threads: threads, batch: 256,
+		steps: steps, prefetch: 10, shuffle: c.shuffleSeed(),
+	}, nil
+}
+
+// Fig7a profiles the ImageNet epoch with one preprocessing thread (paper
+// Fig. 7a): ~3 MB/s, opens ≈ files, reads ≈ 2x opens, ~50% zero-length,
+// ~50% neither sequential nor consecutive.
+func Fig7a(c Config) (*CaseStudyResult, error) {
+	setup, err := imagenetSetup(c, 1)
+	if err != nil {
+		return nil, err
+	}
+	return runCaseStudy("fig7a", "ImageNet training, 1 pipeline thread (Kebnekaise/Lustre)", setup)
+}
+
+// Fig7b repeats with 28 threads (paper Fig. 7b): bandwidth rises to
+// ~24 MB/s, roughly 8x.
+func Fig7b(c Config) (*CaseStudyResult, error) {
+	setup, err := imagenetSetup(c, 28)
+	if err != nil {
+		return nil, err
+	}
+	return runCaseStudy("fig7b", "ImageNet training, 28 pipeline threads (Kebnekaise/Lustre)", setup)
+}
+
+// TimelineResult is a TraceViewer extract (Figs. 8/10).
+type TimelineResult struct {
+	Artifact string
+	Label    string
+	Text     string
+	// FilesShown timelines were rendered; ZeroTerminated counts those
+	// whose final POSIX read has length zero (Fig. 8's observation).
+	FilesShown     int
+	ZeroTerminated int
+	// Matched counts timelines whose POSIX segments fall inside a host
+	// ReadFile op's span (Fig. 10's correspondence).
+	Matched int
+}
+
+// ID implements Result.
+func (r *TimelineResult) ID() string { return r.Artifact }
+
+// Render implements Result.
+func (r *TimelineResult) Render() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s: %s\n", r.Artifact, r.Label)
+	b.WriteString(r.Text)
+	fmt.Fprintf(&b, "timelines=%d zero-terminated=%d readfile-matched=%d\n",
+		r.FilesShown, r.ZeroTerminated, r.Matched)
+	return b.String()
+}
+
+// Metrics implements Result.
+func (r *TimelineResult) Metrics() map[string]float64 {
+	return map[string]float64{
+		"timelines":       float64(r.FilesShown),
+		"zero_terminated": float64(r.ZeroTerminated),
+		"matched":         float64(r.Matched),
+	}
+}
+
+// analyzeTimelines inspects the tf-Darshan plane: per file, is the last
+// read zero-length, and do the segments sit inside a host ReadFile event?
+func analyzeTimelines(space *profiler.XSpace) (files, zeroTerminated, matched int) {
+	darshanPlane := space.FindPlane(core.DarshanPlaneName)
+	host := space.FindPlane(profiler.HostPlaneName)
+	if darshanPlane == nil {
+		return 0, 0, 0
+	}
+	type span struct{ start, end int64 }
+	var readFiles []span
+	if host != nil {
+		for _, l := range host.Lines {
+			for _, ev := range l.Events {
+				if ev.Name == "ReadFile" {
+					readFiles = append(readFiles, span{ev.StartNs, ev.StartNs + ev.DurNs})
+				}
+			}
+		}
+	}
+	for _, line := range darshanPlane.Lines {
+		if len(line.Events) == 0 {
+			continue
+		}
+		files++
+		last := line.Events[len(line.Events)-1]
+		if last.Metadata["length"] == "0" {
+			zeroTerminated++
+		}
+		segStart := line.Events[0].StartNs
+		segEnd := last.StartNs + last.DurNs
+		for _, rf := range readFiles {
+			if rf.start <= segStart && segEnd <= rf.end {
+				matched++
+				break
+			}
+		}
+	}
+	return files, zeroTerminated, matched
+}
+
+// timelineExtract profiles a short window of a case study and renders its
+// timelines.
+func timelineExtract(artifact, label string, setup *trainSetup, steps int) (*TimelineResult, error) {
+	setup.steps = steps
+	setup.profileAll = true
+	out, err := setup.run()
+	if err != nil {
+		return nil, err
+	}
+	pd := &tensorboard.ProfileData{
+		Run:            artifact,
+		Analysis:       setup.handle.Last,
+		Space:          out.tb.Space,
+		SessionStartNs: out.tb.Session.StartNs,
+	}
+	text := pd.TraceViewerText(12, 8)
+	files, zero, matched := analyzeTimelines(out.tb.Space)
+	return &TimelineResult{
+		Artifact: artifact, Label: label, Text: text,
+		FilesShown: files, ZeroTerminated: zero, Matched: matched,
+	}, nil
+}
+
+// Fig8 zooms into the ImageNet POSIX timelines (paper Fig. 8): every file
+// read is followed by a zero-length read.
+func Fig8(c Config) (*TimelineResult, error) {
+	small := c
+	if small.Scale > 0.05 {
+		small.Scale = 0.05 // an extract, as in the paper
+	}
+	setup, err := imagenetSetup(small, 1)
+	if err != nil {
+		return nil, err
+	}
+	return timelineExtract("fig8", "ImageNet TraceViewer extract: zero-length terminating reads", setup, 2)
+}

@@ -1,0 +1,289 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/platform"
+	"repro/internal/workload"
+)
+
+// profMode selects the profiling configuration of an overhead run.
+type profMode int
+
+const (
+	modeNone profMode = iota // no profiler
+	modeTF                   // TensorFlow profiler only
+	modeTFD                  // TensorFlow profiler + tf-Darshan tracer
+)
+
+// OverheadRow is one workload's bars in Fig. 5.
+type OverheadRow struct {
+	Workload    string
+	Manual      bool // STREAM rows use manual restart-every-5 profiling
+	BaselineSec float64
+	TFSec       float64
+	TFDSec      float64
+}
+
+// TFPct returns the TF-profiler-only overhead percentage.
+func (r *OverheadRow) TFPct() float64 { return pct(r.TFSec, r.BaselineSec) }
+
+// TFDPct returns the TF-profiler + tf-Darshan overhead percentage.
+func (r *OverheadRow) TFDPct() float64 { return pct(r.TFDSec, r.BaselineSec) }
+
+func pct(t, base float64) float64 {
+	if base == 0 {
+		return 0
+	}
+	return (t - base) / base * 100
+}
+
+// OverheadResult is the Fig. 5 artifact.
+type OverheadResult struct {
+	Rows []OverheadRow
+}
+
+// ID implements Result.
+func (r *OverheadResult) ID() string { return "fig5" }
+
+// Render implements Result.
+func (r *OverheadResult) Render() string {
+	var b strings.Builder
+	b.WriteString("Fig 5: training/streaming time change vs no profiler (automatic callback for\n")
+	b.WriteString("use-cases, manual restart-every-5-steps for STREAM)\n")
+	fmt.Fprintf(&b, "  %-18s %6s %12s %12s %12s %12s\n",
+		"Workload", "mode", "baseline(s)", "TF(s)", "TF+tfd(s)", "tfd overhead")
+	for _, row := range r.Rows {
+		mode := "auto"
+		if row.Manual {
+			mode = "manual"
+		}
+		fmt.Fprintf(&b, "  %-18s %6s %12.2f %12.2f %12.2f  TF %+5.2f%% / tfd %+6.2f%%\n",
+			row.Workload, mode, row.BaselineSec, row.TFSec, row.TFDSec, row.TFPct(), row.TFDPct())
+	}
+	return b.String()
+}
+
+// Metrics implements Result.
+func (r *OverheadResult) Metrics() map[string]float64 {
+	m := map[string]float64{}
+	for _, row := range r.Rows {
+		m[row.Workload+"_tf_pct"] = row.TFPct()
+		m[row.Workload+"_tfd_pct"] = row.TFDPct()
+	}
+	return m
+}
+
+// overheadWorkload describes one Fig. 5 bar group.
+type overheadWorkload struct {
+	name  string
+	build func(c Config, mode profMode) (*trainSetup, error)
+}
+
+func overheadWorkloads(c Config) []overheadWorkload {
+	return []overheadWorkload{
+		{"ImageNet", func(c Config, mode profMode) (*trainSetup, error) {
+			m := platform.NewKebnekaise(platform.Options{})
+			setupMode(m, mode)
+			d, err := workload.BuildImageNet(m.FS, workload.ImageNetSpec(platform.KebnekaiseLustre+"/imagenet", c.Scale))
+			if err != nil {
+				return nil, err
+			}
+			return &trainSetup{
+				machine: m, paths: d.Paths, mapFn: workload.ImageNetMap,
+				model: workload.AlexNet(), threads: 1, batch: 128,
+				steps: overheadSteps(len(d.Paths), 128), prefetch: 10,
+				shuffle: c.shuffleSeed(), profileAll: mode != modeNone,
+			}, nil
+		}},
+		{"Malware", func(c Config, mode profMode) (*trainSetup, error) {
+			m := platform.NewGreendog(platform.Options{})
+			setupMode(m, mode)
+			d, err := workload.BuildMalware(m.FS, workload.MalwareSpec(platform.GreendogHDDPath+"/malware", c.Scale))
+			if err != nil {
+				return nil, err
+			}
+			return &trainSetup{
+				machine: m, paths: d.Paths, mapFn: workload.MalwareMap,
+				model: workload.MalwareCNN(), threads: 1, batch: 128,
+				steps: overheadSteps(len(d.Paths), 128), prefetch: 10,
+				shuffle: c.shuffleSeed(), profileAll: mode != modeNone,
+			}, nil
+		}},
+		{"STREAM(ImageNet)", func(c Config, mode profMode) (*trainSetup, error) {
+			m := platform.NewGreendog(platform.Options{})
+			setupMode(m, mode)
+			d, err := workload.BuildStreamImageNet(m.FS, workload.StreamImageNetSpec(platform.GreendogHDDPath+"/stream-in", c.Scale))
+			if err != nil {
+				return nil, err
+			}
+			ts := &trainSetup{
+				machine: m, paths: d.Paths, mapFn: workload.StreamMap,
+				threads: 16, batch: 128, steps: c.steps(100), prefetch: 10,
+				shuffle: c.shuffleSeed(),
+			}
+			if mode != modeNone {
+				ts.manualEvery = 5
+			}
+			return ts, nil
+		}},
+		{"STREAM(Malware)", func(c Config, mode profMode) (*trainSetup, error) {
+			m := platform.NewGreendog(platform.Options{})
+			setupMode(m, mode)
+			d, err := workload.BuildStreamMalware(m.FS, workload.StreamMalwareSpec(platform.GreendogHDDPath+"/stream-mw", c.Scale))
+			if err != nil {
+				return nil, err
+			}
+			ts := &trainSetup{
+				machine: m, paths: d.Paths, mapFn: workload.StreamMap,
+				threads: 16, batch: 128, steps: c.steps(50), prefetch: 10,
+				shuffle: c.shuffleSeed(),
+			}
+			if mode != modeNone {
+				ts.manualEvery = 5
+			}
+			return ts, nil
+		}},
+	}
+}
+
+// overheadSteps matches the paper's 10-step overhead runs, capped by the
+// scaled dataset size.
+func overheadSteps(files, batch int) int {
+	steps := 10
+	if max := files / batch; max < steps && max >= 1 {
+		steps = max
+	}
+	if steps < 1 {
+		steps = 1
+	}
+	return steps
+}
+
+// setupMode registers tf-Darshan only in TFD mode (the TF profiler's host
+// tracer is always present once any profiling starts; no profiling at all
+// happens in modeNone because nothing opens a session).
+func setupMode(m *platform.Machine, mode profMode) {
+	if mode == modeTFD {
+		registerTfDarshan(m)
+	}
+}
+
+// Fig5 quantifies profiling overhead for the four workloads under the
+// three configurations (paper Fig. 5): batch 128, 10 steps for the two
+// use-cases with the automatic TensorBoard callback; the STREAM workloads
+// use the manual method restarted every five steps.
+func Fig5(c Config) (*OverheadResult, error) {
+	res := &OverheadResult{}
+	for _, w := range overheadWorkloads(c) {
+		row := OverheadRow{Workload: w.name}
+		for _, mode := range []profMode{modeNone, modeTF, modeTFD} {
+			setup, err := w.build(c, mode)
+			if err != nil {
+				return nil, err
+			}
+			row.Manual = setup.manualEvery > 0 || (mode == modeNone && !setup.profileAll && strings.HasPrefix(w.name, "STREAM"))
+			out, err := setup.run()
+			if err != nil {
+				return nil, fmt.Errorf("fig5 %s mode %d: %w", w.name, mode, err)
+			}
+			switch mode {
+			case modeNone:
+				row.BaselineSec = out.wallSeconds
+			case modeTF:
+				row.TFSec = out.wallSeconds
+			case modeTFD:
+				row.TFDSec = out.wallSeconds
+			}
+		}
+		res.Rows = append(res.Rows, row)
+	}
+	return res, nil
+}
+
+// Fig6 result: checkpoint activity captured on the STDIO layer.
+type CheckpointResult struct {
+	Checkpoints   int
+	TotalFwrites  int64
+	StdioFwrites  int64 // as seen by Darshan's STDIO module
+	StdioMB       float64
+	PosixWrites   int64 // must stay 0: stdio flushes bypass the PLT
+	FwritesPerCkp float64
+	Panel         string
+}
+
+// ID implements Result.
+func (r *CheckpointResult) ID() string { return "fig6" }
+
+// Render implements Result.
+func (r *CheckpointResult) Render() string {
+	var b strings.Builder
+	b.WriteString("Fig 6: tf-Darshan capturing checkpoint write activity on the STDIO layer\n")
+	b.WriteString(kvTable([][2]string{
+		{"checkpoints written", fmt.Sprint(r.Checkpoints)},
+		{"fwrite calls (writer)", fmt.Sprint(r.TotalFwrites)},
+		{"fwrite calls (Darshan STDIO)", fmt.Sprint(r.StdioFwrites)},
+		{"STDIO bytes written", fmt.Sprintf("%.1f MB", r.StdioMB)},
+		{"POSIX writes observed", fmt.Sprint(r.PosixWrites)},
+		{"fwrites per checkpoint", fmt.Sprintf("%.1f", r.FwritesPerCkp)},
+	}))
+	b.WriteString(r.Panel)
+	return b.String()
+}
+
+// Metrics implements Result.
+func (r *CheckpointResult) Metrics() map[string]float64 {
+	return map[string]float64{
+		"checkpoints":     float64(r.Checkpoints),
+		"stdio_fwrites":   float64(r.StdioFwrites),
+		"fwrites_per_ckp": r.FwritesPerCkp,
+		"posix_writes":    float64(r.PosixWrites),
+	}
+}
+
+// Fig6 trains the image-classification use-case for 10 steps with a
+// checkpoint after every step, all checkpoints kept; Darshan's STDIO
+// module captures the ~1,400 fwrite calls (paper Fig. 6).
+func Fig6(c Config) (*CheckpointResult, error) {
+	m := platform.NewKebnekaise(platform.Options{})
+	h := registerTfDarshan(m)
+	d, err := workload.BuildImageNet(m.FS, workload.ImageNetSpec(platform.KebnekaiseLustre+"/imagenet", c.Scale))
+	if err != nil {
+		return nil, err
+	}
+	steps := overheadSteps(len(d.Paths), 256)
+	setup := &trainSetup{
+		machine: m, handle: h, paths: d.Paths, mapFn: workload.ImageNetMap,
+		model: workload.AlexNet(), threads: 2, batch: 256, steps: steps,
+		prefetch: 10, shuffle: c.shuffleSeed(), profileAll: true,
+		checkpointEvery: 1, ckptDir: platform.KebnekaiseLustre + "/ckpt",
+	}
+	out, err := setup.run()
+	if err != nil {
+		return nil, err
+	}
+	a := h.Last
+	var panel string
+	if a != nil {
+		panel = "\n[tf-Darshan] STDIO layer\n" + kvTable([][2]string{
+			{"fopens", fmt.Sprint(a.StdioOpens)},
+			{"fwrites", fmt.Sprint(a.StdioWrites)},
+			{"bytes written", fmt.Sprintf("%.1f MB", float64(a.StdioBytesWritten)/1e6)},
+		})
+	}
+	res := &CheckpointResult{
+		Checkpoints:  len(out.ckpt.Results),
+		TotalFwrites: out.ckpt.TotalFwrites(),
+		Panel:        panel,
+	}
+	if a != nil {
+		res.StdioFwrites = a.StdioWrites
+		res.StdioMB = float64(a.StdioBytesWritten) / 1e6
+		res.PosixWrites = a.Writes
+	}
+	if res.Checkpoints > 0 {
+		res.FwritesPerCkp = float64(res.StdioFwrites) / float64(res.Checkpoints)
+	}
+	return res, nil
+}

@@ -1,0 +1,205 @@
+// Package libc defines the C-library I/O surface of the simulated process:
+// the typed signatures of the interposable symbols, the construction of
+// "libc.so" over a VFS, and a call façade that routes every invocation
+// through the process GOT so interposers (Darshan) see the full call
+// stream.
+package libc
+
+import (
+	"repro/internal/dynload"
+	"repro/internal/sim"
+	"repro/internal/vfs"
+)
+
+// Typed signatures of the interposable symbols. Darshan wrappers must use
+// these exact types so GOT patching is transparent to call sites.
+type (
+	OpenFunc   func(t *sim.Thread, path string, flags int) (int, error)
+	CloseFunc  func(t *sim.Thread, fd int) error
+	ReadFunc   func(t *sim.Thread, fd int, buf []byte) (int, error)
+	PreadFunc  func(t *sim.Thread, fd int, buf []byte, off int64) (int, error)
+	WriteFunc  func(t *sim.Thread, fd int, buf []byte) (int, error)
+	PwriteFunc func(t *sim.Thread, fd int, buf []byte, off int64) (int, error)
+	LseekFunc  func(t *sim.Thread, fd int, off int64, whence int) (int64, error)
+	StatFunc   func(t *sim.Thread, path string) (vfs.FileInfo, error)
+	FsyncFunc  func(t *sim.Thread, fd int) error
+	UnlinkFunc func(t *sim.Thread, path string) error
+	FopenFunc  func(t *sim.Thread, path, mode string) (*vfs.Stream, error)
+	FreadFunc  func(t *sim.Thread, st *vfs.Stream, buf []byte) (int, error)
+	FwriteFunc func(t *sim.Thread, st *vfs.Stream, buf []byte) (int, error)
+	FseekFunc  func(t *sim.Thread, st *vfs.Stream, off int64, whence int) error
+	FflushFunc func(t *sim.Thread, st *vfs.Stream) error
+	FcloseFunc func(t *sim.Thread, st *vfs.Stream) error
+)
+
+// IOSymbols lists the interposable I/O symbols in the order Darshan's
+// modules claim them: POSIX module symbols first, then STDIO.
+var IOSymbols = []string{
+	"open", "close", "read", "pread", "write", "pwrite",
+	"lseek", "stat", "fsync", "unlink",
+	"fopen", "fread", "fwrite", "fseek", "fflush", "fclose",
+}
+
+// IsIOSymbol reports whether s is one of the interposable I/O symbols;
+// tf-Darshan's GOT scan uses it as the match predicate.
+func IsIOSymbol(s string) bool {
+	for _, x := range IOSymbols {
+		if x == s {
+			return true
+		}
+	}
+	return false
+}
+
+// SonameLibc is the soname of the simulated C library.
+const SonameLibc = "libc.so"
+
+// NewLibrary builds "libc.so" over fs: each I/O symbol is a closure around
+// the corresponding VFS operation.
+func NewLibrary(fs *vfs.FS) *dynload.Library {
+	stdio := vfs.NewStdio(fs)
+	l := dynload.NewLibrary(SonameLibc)
+	l.Define("open", OpenFunc(fs.Open))
+	l.Define("close", CloseFunc(fs.Close))
+	l.Define("read", ReadFunc(fs.Read))
+	l.Define("pread", PreadFunc(fs.Pread))
+	l.Define("write", WriteFunc(fs.Write))
+	l.Define("pwrite", PwriteFunc(fs.Pwrite))
+	l.Define("lseek", LseekFunc(fs.Lseek))
+	l.Define("stat", StatFunc(fs.Stat))
+	l.Define("fsync", FsyncFunc(fs.Fsync))
+	l.Define("unlink", UnlinkFunc(fs.Unlink))
+	l.Define("fopen", FopenFunc(stdio.Fopen))
+	l.Define("fread", FreadFunc(stdio.Fread))
+	l.Define("fwrite", FwriteFunc(stdio.Fwrite))
+	l.Define("fseek", FseekFunc(stdio.Fseek))
+	l.Define("fflush", FflushFunc(stdio.Fflush))
+	l.Define("fclose", FcloseFunc(stdio.Fclose))
+	return l
+}
+
+// Calls is the application-side call façade. Each method resolves its GOT
+// entry at call time, so a PatchGOT performed mid-run redirects subsequent
+// calls immediately — the property tf-Darshan's runtime start/stop relies
+// on.
+type Calls struct {
+	open   *dynload.GOTEntry
+	close_ *dynload.GOTEntry
+	read   *dynload.GOTEntry
+	pread  *dynload.GOTEntry
+	write  *dynload.GOTEntry
+	pwrite *dynload.GOTEntry
+	lseek  *dynload.GOTEntry
+	stat   *dynload.GOTEntry
+	fsync  *dynload.GOTEntry
+	unlink *dynload.GOTEntry
+	fopen  *dynload.GOTEntry
+	fread  *dynload.GOTEntry
+	fwrite *dynload.GOTEntry
+	fseek  *dynload.GOTEntry
+	fflush *dynload.GOTEntry
+	fclose *dynload.GOTEntry
+}
+
+// Bind resolves all I/O GOT entries of p. The process must have been
+// linked against a library exporting the full I/O surface.
+func Bind(p *dynload.Process) *Calls {
+	return &Calls{
+		open:   p.MustGOT("open"),
+		close_: p.MustGOT("close"),
+		read:   p.MustGOT("read"),
+		pread:  p.MustGOT("pread"),
+		write:  p.MustGOT("write"),
+		pwrite: p.MustGOT("pwrite"),
+		lseek:  p.MustGOT("lseek"),
+		stat:   p.MustGOT("stat"),
+		fsync:  p.MustGOT("fsync"),
+		unlink: p.MustGOT("unlink"),
+		fopen:  p.MustGOT("fopen"),
+		fread:  p.MustGOT("fread"),
+		fwrite: p.MustGOT("fwrite"),
+		fseek:  p.MustGOT("fseek"),
+		fflush: p.MustGOT("fflush"),
+		fclose: p.MustGOT("fclose"),
+	}
+}
+
+// Open calls open(2) through the GOT.
+func (c *Calls) Open(t *sim.Thread, path string, flags int) (int, error) {
+	return c.open.Fn().(OpenFunc)(t, path, flags)
+}
+
+// Close calls close(2) through the GOT.
+func (c *Calls) Close(t *sim.Thread, fd int) error {
+	return c.close_.Fn().(CloseFunc)(t, fd)
+}
+
+// Read calls read(2) through the GOT.
+func (c *Calls) Read(t *sim.Thread, fd int, buf []byte) (int, error) {
+	return c.read.Fn().(ReadFunc)(t, fd, buf)
+}
+
+// Pread calls pread(2) through the GOT.
+func (c *Calls) Pread(t *sim.Thread, fd int, buf []byte, off int64) (int, error) {
+	return c.pread.Fn().(PreadFunc)(t, fd, buf, off)
+}
+
+// Write calls write(2) through the GOT.
+func (c *Calls) Write(t *sim.Thread, fd int, buf []byte) (int, error) {
+	return c.write.Fn().(WriteFunc)(t, fd, buf)
+}
+
+// Pwrite calls pwrite(2) through the GOT.
+func (c *Calls) Pwrite(t *sim.Thread, fd int, buf []byte, off int64) (int, error) {
+	return c.pwrite.Fn().(PwriteFunc)(t, fd, buf, off)
+}
+
+// Lseek calls lseek(2) through the GOT.
+func (c *Calls) Lseek(t *sim.Thread, fd int, off int64, whence int) (int64, error) {
+	return c.lseek.Fn().(LseekFunc)(t, fd, off, whence)
+}
+
+// Stat calls stat(2) through the GOT.
+func (c *Calls) Stat(t *sim.Thread, path string) (vfs.FileInfo, error) {
+	return c.stat.Fn().(StatFunc)(t, path)
+}
+
+// Fsync calls fsync(2) through the GOT.
+func (c *Calls) Fsync(t *sim.Thread, fd int) error {
+	return c.fsync.Fn().(FsyncFunc)(t, fd)
+}
+
+// Unlink calls unlink(2) through the GOT.
+func (c *Calls) Unlink(t *sim.Thread, path string) error {
+	return c.unlink.Fn().(UnlinkFunc)(t, path)
+}
+
+// Fopen calls fopen(3) through the GOT.
+func (c *Calls) Fopen(t *sim.Thread, path, mode string) (*vfs.Stream, error) {
+	return c.fopen.Fn().(FopenFunc)(t, path, mode)
+}
+
+// Fread calls fread(3) through the GOT.
+func (c *Calls) Fread(t *sim.Thread, st *vfs.Stream, buf []byte) (int, error) {
+	return c.fread.Fn().(FreadFunc)(t, st, buf)
+}
+
+// Fwrite calls fwrite(3) through the GOT.
+func (c *Calls) Fwrite(t *sim.Thread, st *vfs.Stream, buf []byte) (int, error) {
+	return c.fwrite.Fn().(FwriteFunc)(t, st, buf)
+}
+
+// Fseek calls fseek(3) through the GOT.
+func (c *Calls) Fseek(t *sim.Thread, st *vfs.Stream, off int64, whence int) error {
+	return c.fseek.Fn().(FseekFunc)(t, st, off, whence)
+}
+
+// Fflush calls fflush(3) through the GOT.
+func (c *Calls) Fflush(t *sim.Thread, st *vfs.Stream) error {
+	return c.fflush.Fn().(FflushFunc)(t, st)
+}
+
+// Fclose calls fclose(3) through the GOT.
+func (c *Calls) Fclose(t *sim.Thread, st *vfs.Stream) error {
+	return c.fclose.Fn().(FcloseFunc)(t, st)
+}

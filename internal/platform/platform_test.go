@@ -1,0 +1,109 @@
+package platform
+
+import (
+	"testing"
+
+	"repro/internal/darshan"
+	"repro/internal/sim"
+	"repro/internal/vfs"
+)
+
+func TestGreendogWiring(t *testing.T) {
+	m := NewGreendog(Options{})
+	if m.HDD == nil || m.SSD == nil || m.Optane == nil {
+		t.Fatal("storage tiers missing")
+	}
+	if m.Lustre != nil {
+		t.Fatal("greendog should not have lustre")
+	}
+	if got := len(m.Devices()); got != 3 {
+		t.Fatalf("devices = %d", got)
+	}
+	if m.CPU.Cores() != 16 {
+		t.Fatalf("cores = %d", m.CPU.Cores())
+	}
+	if m.Env.GPU == nil || m.Env.GPU.Name != "RTX2060S" {
+		t.Fatalf("gpu = %+v", m.Env.GPU)
+	}
+	// Mount routing: dataset -> HDD, fast -> Optane, ckpt -> SSD.
+	if m.DataMount.Dev != m.HDD || m.FastMount.Dev != m.Optane || m.CkptMount.Dev != m.SSD {
+		t.Fatal("mount roles wrong")
+	}
+	// libdarshan.so is installed for dlopen but not loaded at startup.
+	if m.Proc.Loaded(darshan.SonameDarshan) {
+		t.Fatal("darshan loaded at startup without preload")
+	}
+	if _, err := m.Proc.Dlopen(darshan.SonameDarshan); err != nil {
+		t.Fatalf("darshan not installed: %v", err)
+	}
+}
+
+func TestKebnekaiseWiring(t *testing.T) {
+	m := NewKebnekaise(Options{})
+	if m.Lustre == nil {
+		t.Fatal("lustre missing")
+	}
+	if m.HDD != nil || m.Optane != nil {
+		t.Fatal("kebnekaise should have no local tiers")
+	}
+	if m.CPU.Cores() != 28 {
+		t.Fatalf("cores = %d", m.CPU.Cores())
+	}
+	if m.Env.GPU.Name != "2xV100" {
+		t.Fatalf("gpu = %s", m.Env.GPU.Name)
+	}
+	if m.FastMount != nil {
+		t.Fatal("kebnekaise has no staging tier")
+	}
+}
+
+func TestPreloadOption(t *testing.T) {
+	m := NewGreendog(Options{PreloadDarshan: true})
+	m.FS.CreateFile(GreendogHDDPath+"/x", 100)
+	m.K.Spawn("t", func(th *sim.Thread) {
+		fd, err := m.Env.Libc.Open(th, GreendogHDDPath+"/x", vfs.O_RDONLY)
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		m.Env.Libc.Close(th, fd)
+	})
+	if err := m.K.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if m.Darshan.Posix.RecordCount() != 1 {
+		t.Fatal("preloaded darshan missed the open")
+	}
+}
+
+func TestCustomDarshanConfig(t *testing.T) {
+	cfg := darshan.DefaultConfig()
+	cfg.MaxRecordsPerModule = 1
+	m := NewGreendog(Options{DarshanConfig: &cfg, PreloadDarshan: true})
+	m.FS.CreateFile(GreendogHDDPath+"/a", 10)
+	m.FS.CreateFile(GreendogHDDPath+"/b", 10)
+	m.K.Spawn("t", func(th *sim.Thread) {
+		for _, p := range []string{GreendogHDDPath + "/a", GreendogHDDPath + "/b"} {
+			fd, _ := m.Env.Libc.Open(th, p, vfs.O_RDONLY)
+			m.Env.Libc.Close(th, fd)
+		}
+	})
+	if err := m.K.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if m.Darshan.Posix.RecordCount() != 1 {
+		t.Fatalf("record cap not honoured: %d", m.Darshan.Posix.RecordCount())
+	}
+}
+
+func TestMachinesAreIndependent(t *testing.T) {
+	a := NewGreendog(Options{})
+	b := NewGreendog(Options{})
+	a.FS.CreateFile(GreendogHDDPath+"/only-a", 10)
+	if _, ok := b.FS.Lookup(GreendogHDDPath + "/only-a"); ok {
+		t.Fatal("machines share a file system")
+	}
+	if a.K == b.K {
+		t.Fatal("machines share a kernel")
+	}
+}

@@ -1,0 +1,270 @@
+// Package sim implements a deterministic discrete-event simulation kernel.
+//
+// The kernel multiplexes simulated threads (each backed by a goroutine) over
+// a virtual clock. Exactly one goroutine — either the kernel or a single
+// simulated thread — runs at any moment, so kernel and thread state need no
+// locking and every run with the same inputs produces the same event order,
+// the same virtual timestamps, and therefore bit-identical experiment
+// results.
+//
+// Simulated threads block on virtual time (Sleep), on synchronization
+// primitives (Mutex, Semaphore, Cond, WaitGroup, Chan), or on resources
+// built from those primitives (see internal/storage). Virtual time advances
+// only when no thread is runnable.
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Duration is a span of virtual time in nanoseconds.
+type Duration = int64
+
+// Virtual time units.
+const (
+	Nanosecond  Duration = 1
+	Microsecond Duration = 1000 * Nanosecond
+	Millisecond Duration = 1000 * Microsecond
+	Second      Duration = 1000 * Millisecond
+)
+
+// FromSeconds converts seconds to a virtual Duration.
+func FromSeconds(s float64) Duration { return Duration(s * float64(Second)) }
+
+// Seconds converts a virtual Duration to seconds.
+func Seconds(d Duration) float64 { return float64(d) / float64(Second) }
+
+// FromMillis converts milliseconds to a virtual Duration.
+func FromMillis(ms float64) Duration { return Duration(ms * float64(Millisecond)) }
+
+// FromMicros converts microseconds to a virtual Duration.
+func FromMicros(us float64) Duration { return Duration(us * float64(Microsecond)) }
+
+type threadState int
+
+const (
+	stateNew threadState = iota
+	stateReady
+	stateRunning
+	stateSleeping
+	stateBlocked
+	stateDone
+)
+
+func (s threadState) String() string {
+	switch s {
+	case stateNew:
+		return "new"
+	case stateReady:
+		return "ready"
+	case stateRunning:
+		return "running"
+	case stateSleeping:
+		return "sleeping"
+	case stateBlocked:
+		return "blocked"
+	case stateDone:
+		return "done"
+	}
+	return "unknown"
+}
+
+// Kernel is a deterministic discrete-event scheduler. The zero value is not
+// usable; create one with NewKernel.
+type Kernel struct {
+	now     int64
+	seq     uint64
+	timers  timerHeap
+	ready   []*Thread
+	yieldCh chan struct{}
+	cur     *Thread
+	threads []*Thread
+	live    int
+	nextTID int
+	stopped bool
+}
+
+// NewKernel returns an empty kernel at virtual time zero.
+func NewKernel() *Kernel {
+	return &Kernel{yieldCh: make(chan struct{})}
+}
+
+// Now returns the current virtual time in nanoseconds.
+func (k *Kernel) Now() int64 { return k.now }
+
+// Live returns the number of spawned threads that have not yet exited.
+func (k *Kernel) Live() int { return k.live }
+
+// Spawn creates a new simulated thread that will run fn. It may be called
+// before Run or from inside a running simulated thread. The thread becomes
+// runnable immediately (FIFO order with other ready threads).
+func (k *Kernel) Spawn(name string, fn func(t *Thread)) *Thread {
+	t := &Thread{
+		k:      k,
+		id:     k.nextTID,
+		name:   name,
+		resume: make(chan struct{}),
+		state:  stateReady,
+	}
+	k.nextTID++
+	k.live++
+	k.threads = append(k.threads, t)
+	go func() {
+		<-t.resume
+		fn(t)
+		t.state = stateDone
+		k.live--
+		k.yieldCh <- struct{}{}
+	}()
+	k.makeReadyAppend(t)
+	return t
+}
+
+func (k *Kernel) makeReadyAppend(t *Thread) {
+	k.ready = append(k.ready, t)
+}
+
+// makeReady moves a parked thread to the back of the run queue.
+func (k *Kernel) makeReady(t *Thread) {
+	if t.state == stateDone || t.state == stateReady || t.state == stateRunning {
+		panic(fmt.Sprintf("sim: makeReady on thread %q in state %v", t.name, t.state))
+	}
+	t.state = stateReady
+	k.makeReadyAppend(t)
+}
+
+func (k *Kernel) runThread(t *Thread) {
+	t.state = stateRunning
+	k.cur = t
+	t.resume <- struct{}{}
+	<-k.yieldCh
+	k.cur = nil
+}
+
+// Run executes the simulation until every thread has exited. It returns a
+// DeadlockError if threads remain but none can ever become runnable.
+func (k *Kernel) Run() error {
+	for {
+		if len(k.ready) > 0 {
+			t := k.ready[0]
+			k.ready = k.ready[1:]
+			if t.state != stateReady {
+				panic(fmt.Sprintf("sim: thread %q on run queue in state %v", t.name, t.state))
+			}
+			k.runThread(t)
+			continue
+		}
+		if k.timers.Len() > 0 {
+			tm := heap.Pop(&k.timers).(*Timer)
+			if tm.cancelled {
+				continue
+			}
+			if tm.when < k.now {
+				panic("sim: timer fired in the past")
+			}
+			k.now = tm.when
+			tm.fired = true
+			tm.fn(k)
+			continue
+		}
+		if k.live > 0 {
+			return k.deadlockError()
+		}
+		return nil
+	}
+}
+
+// DeadlockError reports the set of threads that can never run again.
+type DeadlockError struct {
+	Time    int64
+	Blocked []string
+}
+
+func (e *DeadlockError) Error() string {
+	return fmt.Sprintf("sim: deadlock at t=%dns: %d thread(s) blocked forever: %s",
+		e.Time, len(e.Blocked), strings.Join(e.Blocked, "; "))
+}
+
+func (k *Kernel) deadlockError() error {
+	var blocked []string
+	for _, t := range k.threads {
+		if t.state != stateDone {
+			blocked = append(blocked, fmt.Sprintf("%s(%v on %s)", t.name, t.state, t.blockedOn))
+		}
+	}
+	sort.Strings(blocked)
+	return &DeadlockError{Time: k.now, Blocked: blocked}
+}
+
+// Thread is a simulated thread of execution. All methods must be called from
+// inside the thread's own function (they park the calling goroutine).
+type Thread struct {
+	k         *Kernel
+	id        int
+	name      string
+	state     threadState
+	resume    chan struct{}
+	blockedOn string
+
+	// scratch slot used by Chan handoff.
+	chanVal any
+	chanOK  bool
+}
+
+// ID returns the thread's unique id (assigned in spawn order).
+func (t *Thread) ID() int { return t.id }
+
+// Name returns the thread's name.
+func (t *Thread) Name() string { return t.name }
+
+// Kernel returns the owning kernel.
+func (t *Thread) Kernel() *Kernel { return t.k }
+
+// Now returns the current virtual time.
+func (t *Thread) Now() int64 { return t.k.now }
+
+// park blocks the calling thread until another component calls makeReady.
+func (t *Thread) park(state threadState, desc string) {
+	if t.k.cur != t {
+		panic(fmt.Sprintf("sim: thread %q parked while not current (cur=%v)", t.name, t.k.cur))
+	}
+	t.state = state
+	t.blockedOn = desc
+	t.k.yieldCh <- struct{}{}
+	<-t.resume
+	t.blockedOn = ""
+}
+
+// Sleep advances the thread by d of virtual time. Non-positive durations
+// yield the processor without advancing the clock.
+func (t *Thread) Sleep(d Duration) {
+	if d <= 0 {
+		t.Yield()
+		return
+	}
+	k := t.k
+	k.AfterFunc(d, func(kk *Kernel) { kk.makeReady(t) })
+	t.park(stateSleeping, "sleep")
+}
+
+// SleepUntil sleeps until the given absolute virtual time; it returns
+// immediately if that time has passed.
+func (t *Thread) SleepUntil(when int64) {
+	if when <= t.k.now {
+		return
+	}
+	t.Sleep(when - t.k.now)
+}
+
+// Yield requeues the thread at the back of the run queue without advancing
+// virtual time.
+func (t *Thread) Yield() {
+	k := t.k
+	t.state = stateBlocked
+	k.makeReady(t)
+	t.park(stateReady, "yield")
+	t.state = stateRunning
+}

@@ -1,0 +1,241 @@
+package sim
+
+import (
+	"errors"
+	"testing"
+)
+
+func TestSingleThreadSleepAdvancesClock(t *testing.T) {
+	k := NewKernel()
+	var woke int64
+	k.Spawn("a", func(th *Thread) {
+		th.Sleep(5 * Millisecond)
+		woke = th.Now()
+	})
+	if err := k.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if woke != 5*Millisecond {
+		t.Fatalf("woke at %d, want %d", woke, 5*Millisecond)
+	}
+	if k.Now() != 5*Millisecond {
+		t.Fatalf("kernel time %d, want %d", k.Now(), 5*Millisecond)
+	}
+}
+
+func TestSleepOrderingIsDeterministic(t *testing.T) {
+	run := func() []string {
+		k := NewKernel()
+		var order []string
+		for _, spec := range []struct {
+			name string
+			d    Duration
+		}{{"c", 3 * Second}, {"a", 1 * Second}, {"b", 2 * Second}, {"a2", 1 * Second}} {
+			spec := spec
+			k.Spawn(spec.name, func(th *Thread) {
+				th.Sleep(spec.d)
+				order = append(order, spec.name)
+			})
+		}
+		if err := k.Run(); err != nil {
+			t.Fatal(err)
+		}
+		return order
+	}
+	want := []string{"a", "a2", "b", "c"}
+	for trial := 0; trial < 10; trial++ {
+		got := run()
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("trial %d: order %v, want %v", trial, got, want)
+			}
+		}
+	}
+}
+
+func TestZeroSleepYields(t *testing.T) {
+	k := NewKernel()
+	var order []int
+	k.Spawn("a", func(th *Thread) {
+		order = append(order, 1)
+		th.Sleep(0)
+		order = append(order, 3)
+	})
+	k.Spawn("b", func(th *Thread) {
+		order = append(order, 2)
+	})
+	if err := k.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if k.Now() != 0 {
+		t.Fatalf("clock advanced to %d on zero sleep", k.Now())
+	}
+	want := []int{1, 2, 3}
+	for i := range want {
+		if order[i] != want[i] {
+			t.Fatalf("order %v, want %v", order, want)
+		}
+	}
+}
+
+func TestSpawnFromRunningThread(t *testing.T) {
+	k := NewKernel()
+	var childRan bool
+	k.Spawn("parent", func(th *Thread) {
+		th.Kernel().Spawn("child", func(c *Thread) {
+			c.Sleep(Millisecond)
+			childRan = true
+		})
+		th.Sleep(2 * Millisecond)
+	})
+	if err := k.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if !childRan {
+		t.Fatal("child never ran")
+	}
+}
+
+func TestDeadlockDetection(t *testing.T) {
+	k := NewKernel()
+	var m Mutex
+	k.Spawn("holder", func(th *Thread) {
+		m.Lock(th)
+		// exits holding the lock
+	})
+	k.Spawn("waiter", func(th *Thread) {
+		th.Sleep(Millisecond)
+		m.Lock(th)
+	})
+	err := k.Run()
+	var dl *DeadlockError
+	if !errors.As(err, &dl) {
+		t.Fatalf("want DeadlockError, got %v", err)
+	}
+	if len(dl.Blocked) != 1 {
+		t.Fatalf("blocked threads = %v, want exactly one", dl.Blocked)
+	}
+}
+
+func TestTimerCancel(t *testing.T) {
+	k := NewKernel()
+	fired := false
+	tm := k.AfterFunc(Second, func(*Kernel) { fired = true })
+	if !tm.Cancel() {
+		t.Fatal("Cancel returned false for pending timer")
+	}
+	k.Spawn("a", func(th *Thread) { th.Sleep(2 * Second) })
+	if err := k.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if fired {
+		t.Fatal("cancelled timer fired")
+	}
+	if tm.Cancel() {
+		t.Fatal("second Cancel should report false")
+	}
+}
+
+func TestAfterFuncOrderingAtSameInstant(t *testing.T) {
+	k := NewKernel()
+	var order []int
+	k.AfterFunc(Second, func(*Kernel) { order = append(order, 1) })
+	k.AfterFunc(Second, func(*Kernel) { order = append(order, 2) })
+	k.AfterFunc(Second, func(*Kernel) { order = append(order, 3) })
+	k.Spawn("a", func(th *Thread) { th.Sleep(2 * Second) })
+	if err := k.Run(); err != nil {
+		t.Fatal(err)
+	}
+	for i, v := range order {
+		if v != i+1 {
+			t.Fatalf("same-instant timers fired out of order: %v", order)
+		}
+	}
+}
+
+func TestSleepUntil(t *testing.T) {
+	k := NewKernel()
+	var times []int64
+	k.Spawn("a", func(th *Thread) {
+		th.SleepUntil(10 * Millisecond)
+		times = append(times, th.Now())
+		th.SleepUntil(5 * Millisecond) // in the past: no-op
+		times = append(times, th.Now())
+	})
+	if err := k.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if times[0] != 10*Millisecond || times[1] != 10*Millisecond {
+		t.Fatalf("times = %v", times)
+	}
+}
+
+func TestManyThreadsInterleaveDeterministically(t *testing.T) {
+	const n = 50
+	run := func() int64 {
+		k := NewKernel()
+		var sum int64
+		for i := 0; i < n; i++ {
+			i := i
+			k.Spawn("w", func(th *Thread) {
+				for j := 0; j < 10; j++ {
+					th.Sleep(Duration(i+1) * Microsecond)
+					sum = sum*31 + th.Now()%1009
+				}
+			})
+		}
+		if err := k.Run(); err != nil {
+			t.Fatal(err)
+		}
+		return sum
+	}
+	first := run()
+	for trial := 0; trial < 5; trial++ {
+		if got := run(); got != first {
+			t.Fatalf("non-deterministic interleaving: %d != %d", got, first)
+		}
+	}
+}
+
+func TestCPUSetContention(t *testing.T) {
+	k := NewKernel()
+	cpu := NewCPUSet(2)
+	var wg WaitGroup
+	wg.Add(4)
+	for i := 0; i < 4; i++ {
+		k.Spawn("w", func(th *Thread) {
+			cpu.Compute(th, 10*Millisecond)
+			wg.Done(th)
+		})
+	}
+	var finished int64
+	k.Spawn("waiter", func(th *Thread) {
+		wg.Wait(th)
+		finished = th.Now()
+	})
+	if err := k.Run(); err != nil {
+		t.Fatal(err)
+	}
+	// 4 bursts of 10ms on 2 cores take 20ms.
+	if finished != 20*Millisecond {
+		t.Fatalf("finished at %d, want %d", finished, 20*Millisecond)
+	}
+	if cpu.BusyTime() != 40*Millisecond {
+		t.Fatalf("busy time %d, want %d", cpu.BusyTime(), 40*Millisecond)
+	}
+}
+
+func TestSeconds(t *testing.T) {
+	if got := Seconds(1500 * Millisecond); got != 1.5 {
+		t.Fatalf("Seconds = %v", got)
+	}
+	if got := FromSeconds(2.5); got != 2500*Millisecond {
+		t.Fatalf("FromSeconds = %v", got)
+	}
+	if got := FromMillis(0.5); got != 500*Microsecond {
+		t.Fatalf("FromMillis = %v", got)
+	}
+	if got := FromMicros(3); got != 3*Microsecond {
+		t.Fatalf("FromMicros = %v", got)
+	}
+}

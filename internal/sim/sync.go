@@ -1,0 +1,198 @@
+package sim
+
+import "fmt"
+
+// Mutex is a FIFO mutual-exclusion lock for simulated threads. The zero
+// value is an unlocked mutex.
+type Mutex struct {
+	owner   *Thread
+	waiters []*Thread
+}
+
+// Lock acquires the mutex, parking t until it is available. Waiters are
+// served in FIFO order.
+func (m *Mutex) Lock(t *Thread) {
+	if m.owner == t {
+		panic(fmt.Sprintf("sim: thread %q recursively locking mutex", t.name))
+	}
+	if m.owner == nil {
+		m.owner = t
+		return
+	}
+	m.waiters = append(m.waiters, t)
+	t.park(stateBlocked, "mutex")
+}
+
+// TryLock acquires the mutex if it is free and reports whether it succeeded.
+func (m *Mutex) TryLock(t *Thread) bool {
+	if m.owner == nil {
+		m.owner = t
+		return true
+	}
+	return false
+}
+
+// Unlock releases the mutex, handing it to the longest-waiting thread.
+func (m *Mutex) Unlock(t *Thread) {
+	if m.owner != t {
+		panic(fmt.Sprintf("sim: thread %q unlocking mutex owned by %v", t.name, ownerName(m.owner)))
+	}
+	if len(m.waiters) == 0 {
+		m.owner = nil
+		return
+	}
+	next := m.waiters[0]
+	m.waiters = m.waiters[1:]
+	m.owner = next
+	t.k.makeReady(next)
+}
+
+// Locked reports whether the mutex is currently held.
+func (m *Mutex) Locked() bool { return m.owner != nil }
+
+func ownerName(t *Thread) string {
+	if t == nil {
+		return "<nobody>"
+	}
+	return t.name
+}
+
+// Semaphore is a counting semaphore with FIFO wakeup.
+type Semaphore struct {
+	avail   int
+	waiters []*semWaiter
+}
+
+type semWaiter struct {
+	t *Thread
+	n int
+}
+
+// NewSemaphore returns a semaphore with n initial permits.
+func NewSemaphore(n int) *Semaphore {
+	if n < 0 {
+		panic("sim: negative semaphore count")
+	}
+	return &Semaphore{avail: n}
+}
+
+// Acquire takes n permits, parking t until they are available. FIFO order
+// is strict: a large request at the head blocks smaller requests behind it
+// (no barging), which keeps service order deterministic and fair.
+func (s *Semaphore) Acquire(t *Thread, n int) {
+	if n <= 0 {
+		panic("sim: non-positive semaphore acquire")
+	}
+	if len(s.waiters) == 0 && s.avail >= n {
+		s.avail -= n
+		return
+	}
+	s.waiters = append(s.waiters, &semWaiter{t: t, n: n})
+	t.park(stateBlocked, "semaphore")
+}
+
+// TryAcquire takes n permits without blocking, reporting success.
+func (s *Semaphore) TryAcquire(n int) bool {
+	if len(s.waiters) == 0 && s.avail >= n {
+		s.avail -= n
+		return true
+	}
+	return false
+}
+
+// Release returns n permits and wakes any waiters that can now proceed.
+func (s *Semaphore) Release(t *Thread, n int) {
+	if n <= 0 {
+		panic("sim: non-positive semaphore release")
+	}
+	s.avail += n
+	for len(s.waiters) > 0 && s.avail >= s.waiters[0].n {
+		w := s.waiters[0]
+		s.waiters = s.waiters[1:]
+		s.avail -= w.n
+		t.k.makeReady(w.t)
+	}
+}
+
+// Available returns the number of free permits.
+func (s *Semaphore) Available() int { return s.avail }
+
+// Waiting returns the number of parked acquirers.
+func (s *Semaphore) Waiting() int { return len(s.waiters) }
+
+// Cond is a condition variable bound to a Mutex.
+type Cond struct {
+	M       *Mutex
+	waiters []*Thread
+}
+
+// NewCond returns a condition variable using m.
+func NewCond(m *Mutex) *Cond { return &Cond{M: m} }
+
+// Wait atomically releases the mutex and parks t; on wakeup it reacquires
+// the mutex before returning. As with sync.Cond, callers must re-check
+// their predicate in a loop.
+func (c *Cond) Wait(t *Thread) {
+	c.waiters = append(c.waiters, t)
+	c.M.Unlock(t)
+	t.park(stateBlocked, "cond")
+	c.M.Lock(t)
+}
+
+// Signal wakes the longest-waiting thread, if any. The caller should hold
+// the mutex (not enforced, as with sync.Cond).
+func (c *Cond) Signal(t *Thread) {
+	if len(c.waiters) == 0 {
+		return
+	}
+	w := c.waiters[0]
+	c.waiters = c.waiters[1:]
+	t.k.makeReady(w)
+}
+
+// Broadcast wakes all waiting threads in FIFO order.
+func (c *Cond) Broadcast(t *Thread) {
+	for _, w := range c.waiters {
+		t.k.makeReady(w)
+	}
+	c.waiters = nil
+}
+
+// WaitGroup waits for a collection of simulated threads to finish.
+type WaitGroup struct {
+	count   int
+	waiters []*Thread
+}
+
+// Add adds delta to the counter. It may be called from any simulated thread
+// but, unlike sync.WaitGroup, requires the current thread for wakeups when
+// the counter reaches zero, so Done takes a thread argument.
+func (wg *WaitGroup) Add(delta int) {
+	wg.count += delta
+	if wg.count < 0 {
+		panic("sim: negative WaitGroup counter")
+	}
+}
+
+// Done decrements the counter, waking waiters when it reaches zero.
+func (wg *WaitGroup) Done(t *Thread) {
+	wg.count--
+	if wg.count < 0 {
+		panic("sim: negative WaitGroup counter")
+	}
+	if wg.count == 0 {
+		for _, w := range wg.waiters {
+			t.k.makeReady(w)
+		}
+		wg.waiters = nil
+	}
+}
+
+// Wait parks t until the counter is zero.
+func (wg *WaitGroup) Wait(t *Thread) {
+	if wg.count == 0 {
+		return
+	}
+	wg.waiters = append(wg.waiters, t)
+	t.park(stateBlocked, "waitgroup")
+}

@@ -1,0 +1,215 @@
+package sim
+
+import "testing"
+
+func TestMutexMutualExclusion(t *testing.T) {
+	k := NewKernel()
+	var m Mutex
+	counter := 0
+	for i := 0; i < 10; i++ {
+		k.Spawn("w", func(th *Thread) {
+			for j := 0; j < 100; j++ {
+				m.Lock(th)
+				c := counter
+				th.Sleep(Microsecond) // widen the race window
+				counter = c + 1
+				m.Unlock(th)
+			}
+		})
+	}
+	if err := k.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if counter != 1000 {
+		t.Fatalf("counter = %d, want 1000", counter)
+	}
+}
+
+func TestMutexFIFO(t *testing.T) {
+	k := NewKernel()
+	var m Mutex
+	var order []int
+	k.Spawn("holder", func(th *Thread) {
+		m.Lock(th)
+		th.Sleep(10 * Millisecond)
+		m.Unlock(th)
+	})
+	for i := 0; i < 5; i++ {
+		i := i
+		k.Spawn("w", func(th *Thread) {
+			th.Sleep(Duration(i+1) * Millisecond) // arrive in index order
+			m.Lock(th)
+			order = append(order, i)
+			m.Unlock(th)
+		})
+	}
+	if err := k.Run(); err != nil {
+		t.Fatal(err)
+	}
+	for i, v := range order {
+		if v != i {
+			t.Fatalf("FIFO violated: %v", order)
+		}
+	}
+}
+
+func TestMutexTryLock(t *testing.T) {
+	k := NewKernel()
+	var m Mutex
+	k.Spawn("a", func(th *Thread) {
+		if !m.TryLock(th) {
+			t.Error("TryLock on free mutex failed")
+		}
+		th.Kernel().Spawn("b", func(th2 *Thread) {
+			if m.TryLock(th2) {
+				t.Error("TryLock on held mutex succeeded")
+			}
+		})
+		th.Sleep(Millisecond)
+		m.Unlock(th)
+	})
+	if err := k.Run(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSemaphoreLimitsConcurrency(t *testing.T) {
+	k := NewKernel()
+	sem := NewSemaphore(3)
+	inFlight, maxInFlight := 0, 0
+	for i := 0; i < 10; i++ {
+		k.Spawn("w", func(th *Thread) {
+			sem.Acquire(th, 1)
+			inFlight++
+			if inFlight > maxInFlight {
+				maxInFlight = inFlight
+			}
+			th.Sleep(Millisecond)
+			inFlight--
+			sem.Release(th, 1)
+		})
+	}
+	if err := k.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if maxInFlight != 3 {
+		t.Fatalf("max in flight = %d, want 3", maxInFlight)
+	}
+}
+
+func TestSemaphoreMultiPermit(t *testing.T) {
+	k := NewKernel()
+	sem := NewSemaphore(4)
+	var got []string
+	k.Spawn("big", func(th *Thread) {
+		sem.Acquire(th, 4)
+		got = append(got, "big")
+		th.Sleep(Millisecond)
+		sem.Release(th, 4)
+	})
+	k.Spawn("small", func(th *Thread) {
+		th.Sleep(Microsecond)
+		sem.Acquire(th, 1)
+		got = append(got, "small")
+		sem.Release(th, 1)
+	})
+	if err := k.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if got[0] != "big" || got[1] != "small" {
+		t.Fatalf("order = %v", got)
+	}
+}
+
+func TestSemaphoreTryAcquire(t *testing.T) {
+	k := NewKernel()
+	sem := NewSemaphore(1)
+	k.Spawn("a", func(th *Thread) {
+		if !sem.TryAcquire(1) {
+			t.Error("TryAcquire on free semaphore failed")
+		}
+		if sem.TryAcquire(1) {
+			t.Error("TryAcquire on empty semaphore succeeded")
+		}
+		sem.Release(th, 1)
+		if sem.Available() != 1 {
+			t.Errorf("available = %d", sem.Available())
+		}
+	})
+	if err := k.Run(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCondSignalAndBroadcast(t *testing.T) {
+	k := NewKernel()
+	var m Mutex
+	c := NewCond(&m)
+	ready := 0
+	var woken int
+	for i := 0; i < 3; i++ {
+		k.Spawn("waiter", func(th *Thread) {
+			m.Lock(th)
+			for ready == 0 {
+				c.Wait(th)
+			}
+			woken++
+			m.Unlock(th)
+		})
+	}
+	k.Spawn("signaler", func(th *Thread) {
+		th.Sleep(Millisecond)
+		m.Lock(th)
+		ready = 1
+		c.Broadcast(th)
+		m.Unlock(th)
+	})
+	if err := k.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if woken != 3 {
+		t.Fatalf("woken = %d, want 3", woken)
+	}
+}
+
+func TestWaitGroup(t *testing.T) {
+	k := NewKernel()
+	var wg WaitGroup
+	wg.Add(5)
+	done := 0
+	for i := 0; i < 5; i++ {
+		i := i
+		k.Spawn("w", func(th *Thread) {
+			th.Sleep(Duration(i) * Millisecond)
+			done++
+			wg.Done(th)
+		})
+	}
+	var sawAll bool
+	k.Spawn("waiter", func(th *Thread) {
+		wg.Wait(th)
+		sawAll = done == 5
+	})
+	if err := k.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if !sawAll {
+		t.Fatal("Wait returned before all Done calls")
+	}
+}
+
+func TestWaitGroupImmediateWait(t *testing.T) {
+	k := NewKernel()
+	var wg WaitGroup
+	ran := false
+	k.Spawn("a", func(th *Thread) {
+		wg.Wait(th) // count already zero: no block
+		ran = true
+	})
+	if err := k.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if !ran {
+		t.Fatal("thread blocked on empty WaitGroup")
+	}
+}

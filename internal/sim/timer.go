@@ -1,0 +1,79 @@
+package sim
+
+import "container/heap"
+
+// Timer is a pending virtual-time callback. Timers are ordered by firing
+// time with sequence numbers breaking ties, keeping the schedule
+// deterministic.
+type Timer struct {
+	when      int64
+	seq       uint64
+	fn        func(*Kernel)
+	cancelled bool
+	fired     bool
+	index     int
+}
+
+// Cancel prevents the timer from firing. Cancelling an already-fired timer
+// has no effect. It reports whether the timer was stopped before firing.
+func (tm *Timer) Cancel() bool {
+	if tm.fired || tm.cancelled {
+		return false
+	}
+	tm.cancelled = true
+	return true
+}
+
+// When returns the absolute virtual time at which the timer fires.
+func (tm *Timer) When() int64 { return tm.when }
+
+// AfterFunc schedules fn to run in kernel context after d of virtual time.
+// The callback must not block; its usual job is waking a parked thread.
+func (k *Kernel) AfterFunc(d Duration, fn func(*Kernel)) *Timer {
+	if d < 0 {
+		d = 0
+	}
+	tm := &Timer{when: k.now + d, seq: k.seq, fn: fn}
+	k.seq++
+	heap.Push(&k.timers, tm)
+	return tm
+}
+
+// AtFunc schedules fn to run in kernel context at absolute virtual time
+// `when` (clamped to now).
+func (k *Kernel) AtFunc(when int64, fn func(*Kernel)) *Timer {
+	d := when - k.now
+	return k.AfterFunc(d, fn)
+}
+
+type timerHeap []*Timer
+
+func (h timerHeap) Len() int { return len(h) }
+
+func (h timerHeap) Less(i, j int) bool {
+	if h[i].when != h[j].when {
+		return h[i].when < h[j].when
+	}
+	return h[i].seq < h[j].seq
+}
+
+func (h timerHeap) Swap(i, j int) {
+	h[i], h[j] = h[j], h[i]
+	h[i].index = i
+	h[j].index = j
+}
+
+func (h *timerHeap) Push(x any) {
+	tm := x.(*Timer)
+	tm.index = len(*h)
+	*h = append(*h, tm)
+}
+
+func (h *timerHeap) Pop() any {
+	old := *h
+	n := len(old)
+	tm := old[n-1]
+	old[n-1] = nil
+	*h = old[:n-1]
+	return tm
+}

@@ -1,0 +1,107 @@
+package storage
+
+import "repro/internal/sim"
+
+// LustreParams configures the Lustre parallel file system model used for
+// the Kebnekaise experiments (paper Fig. 7). The decisive property for the
+// ImageNet workload is that every file open costs a metadata-server RPC
+// whose latency a single client thread cannot hide, while the server side
+// can service several RPCs concurrently — so threading the input pipeline
+// buys roughly MDSConcurrency× more throughput on small files.
+type LustreParams struct {
+	Capacity int64
+	// MDSLatency is the round-trip time of one metadata RPC (open/stat)
+	// against the shared production metadata server.
+	MDSLatency sim.Duration
+	// MDSConcurrency is the number of metadata RPCs the server services
+	// concurrently for this client.
+	MDSConcurrency int
+	// OSSLatency is the per-RPC latency of an object storage read.
+	OSSLatency sim.Duration
+	// OSSBandwidth is the aggregate object-server bandwidth in bytes/s.
+	OSSBandwidth float64
+	// OSSConcurrency bounds in-flight data RPCs.
+	OSSConcurrency int
+}
+
+// DefaultLustreParams models the shared Lustre system at HPC2N as seen
+// from one Kebnekaise compute node.
+func DefaultLustreParams() LustreParams {
+	return LustreParams{
+		Capacity:       500 * TiB,
+		MDSLatency:     sim.FromMillis(26),
+		MDSConcurrency: 7,
+		OSSLatency:     sim.FromMillis(1.2),
+		OSSBandwidth:   1200e6,
+		OSSConcurrency: 32,
+	}
+}
+
+// Lustre models a networked parallel file system: metadata RPCs go to a
+// bounded-concurrency MDS; data RPCs pay a small latency and share OSS
+// bandwidth.
+type Lustre struct {
+	tally
+	name     string
+	p        LustreParams
+	mds      *sim.Semaphore
+	ossSlots *sim.Semaphore
+	ossBus   sim.Mutex
+}
+
+// NewLustre returns a Lustre device with the given parameters.
+func NewLustre(name string, p LustreParams) *Lustre {
+	if p.Capacity <= 0 || p.OSSBandwidth <= 0 || p.MDSConcurrency <= 0 || p.OSSConcurrency <= 0 {
+		panic("storage: invalid lustre params")
+	}
+	return &Lustre{
+		name:     name,
+		p:        p,
+		mds:      sim.NewSemaphore(p.MDSConcurrency),
+		ossSlots: sim.NewSemaphore(p.OSSConcurrency),
+	}
+}
+
+// Name implements Device.
+func (d *Lustre) Name() string { return d.name }
+
+// Capacity implements Device.
+func (d *Lustre) Capacity() int64 { return d.p.Capacity }
+
+func (d *Lustre) data(t *sim.Thread, length int64) sim.Duration {
+	start := t.Now()
+	d.ossSlots.Acquire(t, 1)
+	t.Sleep(d.p.OSSLatency)
+	d.ossBus.Lock(t)
+	t.Sleep(bytesOver(length, d.p.OSSBandwidth))
+	d.ossBus.Unlock(t)
+	d.ossSlots.Release(t, 1)
+	return t.Now() - start
+}
+
+// Read implements Device.
+func (d *Lustre) Read(t *sim.Thread, pos, length int64) {
+	if length <= 0 {
+		return
+	}
+	st := d.data(t, length)
+	d.read(length, st)
+}
+
+// Write implements Device.
+func (d *Lustre) Write(t *sim.Thread, pos, length int64) {
+	if length <= 0 {
+		return
+	}
+	st := d.data(t, length)
+	d.write(length, st)
+}
+
+// Metadata implements Device. One MDS RPC.
+func (d *Lustre) Metadata(t *sim.Thread, pos int64) {
+	start := t.Now()
+	d.mds.Acquire(t, 1)
+	t.Sleep(d.p.MDSLatency)
+	d.mds.Release(t, 1)
+	d.meta(0, t.Now()-start)
+}

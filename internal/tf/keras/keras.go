@@ -1,0 +1,237 @@
+// Package keras provides the Keras-style training loop the paper's
+// use-cases are written against: Model.Fit over a tf.data iterator with
+// callbacks, including the TensorBoard callback that opens a profiling
+// window over a batch range and the ModelCheckpoint callback whose STDIO
+// write pattern the paper's Fig. 6 captures.
+package keras
+
+import (
+	"fmt"
+
+	"repro/internal/sim"
+	"repro/internal/tf"
+	"repro/internal/tf/profiler"
+	"repro/internal/tf/tfdata"
+	"repro/internal/tf/tfio"
+)
+
+// Optimizer mirrors the paper's training setup: SGD with default
+// parameters (learning rate 0.01, momentum 0.0).
+type Optimizer struct {
+	Name         string
+	LearningRate float64
+	Momentum     float64
+}
+
+// SGD returns the default SGD optimizer used in both case studies.
+func SGD() Optimizer { return Optimizer{Name: "sgd", LearningRate: 0.01, Momentum: 0.0} }
+
+// Model is a compiled network: its checkpointable variables and a device
+// step-time model (forward+backward+update for one batch on the target
+// accelerator).
+type Model struct {
+	Name      string
+	Vars      []tfio.Variable
+	Optimizer Optimizer
+	Loss      string
+	// StepTime returns the accelerator time of one training step.
+	StepTime func(batchSize int) sim.Duration
+}
+
+// ParamBytes returns the model's total variable payload.
+func (m *Model) ParamBytes() int64 {
+	var n int64
+	for _, v := range m.Vars {
+		n += v.Bytes
+	}
+	return n
+}
+
+// Callback observes the training loop, Keras-style.
+type Callback interface {
+	OnTrainBegin(t *sim.Thread, env *tf.Env, m *Model)
+	OnStepBegin(t *sim.Thread, env *tf.Env, step int)
+	OnStepEnd(t *sim.Thread, env *tf.Env, step int)
+	OnTrainEnd(t *sim.Thread, env *tf.Env)
+}
+
+// FitOptions configures Model.Fit.
+type FitOptions struct {
+	Steps     int
+	Callbacks []Callback
+}
+
+// History records a completed fit: per-step input-wait and compute times,
+// the basis of the profiler's step-time breakdown ("96% of the sampled
+// step time is waiting for input data").
+type History struct {
+	StepsRun      int
+	StartNs       int64
+	EndNs         int64
+	StepWaitNs    []int64
+	StepComputeNs []int64
+	SamplesSeen   int64
+	BytesSeen     int64
+}
+
+// Duration returns the wall time of the fit in virtual nanoseconds.
+func (h *History) Duration() int64 { return h.EndNs - h.StartNs }
+
+// InputBoundFraction returns the fraction of total step time spent waiting
+// for input.
+func (h *History) InputBoundFraction() float64 {
+	var wait, total int64
+	for i := range h.StepWaitNs {
+		wait += h.StepWaitNs[i]
+		total += h.StepWaitNs[i] + h.StepComputeNs[i]
+	}
+	if total == 0 {
+		return 0
+	}
+	return float64(wait) / float64(total)
+}
+
+// Fit runs the training loop for opts.Steps steps (or until the dataset is
+// exhausted), pulling batches from it and running the model's step on the
+// environment's GPU. It closes the iterator before returning, like Keras
+// tearing down the input pipeline when model.fit returns.
+func (m *Model) Fit(t *sim.Thread, env *tf.Env, it *tfdata.Iterator, opts FitOptions) (*History, error) {
+	if opts.Steps <= 0 {
+		return nil, fmt.Errorf("keras: non-positive step count %d", opts.Steps)
+	}
+	h := &History{StartNs: t.Now()}
+	for _, cb := range opts.Callbacks {
+		cb.OnTrainBegin(t, env, m)
+	}
+	for step := 1; step <= opts.Steps; step++ {
+		for _, cb := range opts.Callbacks {
+			cb.OnStepBegin(t, env, step)
+		}
+		tm := env.Trace(t, "train_step")
+		waitStart := t.Now()
+		batch, ok := it.Next(t)
+		wait := t.Now() - waitStart
+		if !ok {
+			tm.End(t)
+			break
+		}
+		computeStart := t.Now()
+		if env.GPU != nil && m.StepTime != nil {
+			env.GPU.Launch(t, m.Name+"/fused_step", m.StepTime(len(batch.Samples)))
+		}
+		compute := t.Now() - computeStart
+		tm.End(t)
+
+		h.StepsRun++
+		h.StepWaitNs = append(h.StepWaitNs, wait)
+		h.StepComputeNs = append(h.StepComputeNs, compute)
+		h.SamplesSeen += int64(len(batch.Samples))
+		h.BytesSeen += batch.Bytes
+		for _, cb := range opts.Callbacks {
+			cb.OnStepEnd(t, env, step)
+		}
+	}
+	for _, cb := range opts.Callbacks {
+		cb.OnTrainEnd(t, env)
+	}
+	it.Close(t)
+	h.EndNs = t.Now()
+	return h, nil
+}
+
+// TensorBoard is the profiling callback: it opens a profiler session at
+// the beginning of batch ProfileStart and stops it at the end of batch
+// ProfileStop (TF's profile_batch=(a,b) semantics). The collected XSpace
+// is retained for export.
+type TensorBoard struct {
+	ProfileStart int
+	ProfileStop  int
+	// Space holds the collected profile after the window closes.
+	Space *profiler.XSpace
+	// Session is the profiler session while the window is open.
+	Session *profiler.Session
+	// Err records a profiler failure, if any.
+	Err error
+}
+
+// NewTensorBoard profiles batches [start, stop] inclusive.
+func NewTensorBoard(start, stop int) *TensorBoard {
+	return &TensorBoard{ProfileStart: start, ProfileStop: stop}
+}
+
+// OnTrainBegin implements Callback.
+func (tb *TensorBoard) OnTrainBegin(t *sim.Thread, env *tf.Env, m *Model) {}
+
+// OnStepBegin implements Callback.
+func (tb *TensorBoard) OnStepBegin(t *sim.Thread, env *tf.Env, step int) {
+	if step == tb.ProfileStart {
+		tb.Session, tb.Err = env.Prof.Start(t)
+	}
+}
+
+// OnStepEnd implements Callback. Closing the window exports the
+// TensorBoard artifacts, whose serialization cost is charged to the
+// training thread — the automatic-mode overhead the paper measures in
+// Fig. 5.
+func (tb *TensorBoard) OnStepEnd(t *sim.Thread, env *tf.Env, step int) {
+	if step == tb.ProfileStop && tb.Session != nil {
+		tb.Space, tb.Err = env.Prof.Stop(t)
+		env.Prof.ChargeExportCost(t, tb.Space)
+	}
+}
+
+// OnTrainEnd implements Callback: an unclosed window is closed at train
+// end, as TF flushes the profile when training finishes first.
+func (tb *TensorBoard) OnTrainEnd(t *sim.Thread, env *tf.Env) {
+	if tb.Session != nil && tb.Space == nil && env.Prof.ActiveSession() == tb.Session {
+		tb.Space, tb.Err = env.Prof.Stop(t)
+		env.Prof.ChargeExportCost(t, tb.Space)
+	}
+}
+
+// ModelCheckpoint saves the model every EveryNSteps steps, keeping every
+// checkpoint (the paper's Fig. 6 configuration: 10 steps, one checkpoint
+// per step, 10 checkpoints kept).
+type ModelCheckpoint struct {
+	Dir         string
+	EveryNSteps int
+	model       *Model
+	// Results records each written checkpoint.
+	Results []tfio.CheckpointResult
+}
+
+// NewModelCheckpoint saves to dir every n steps.
+func NewModelCheckpoint(dir string, n int) *ModelCheckpoint {
+	return &ModelCheckpoint{Dir: dir, EveryNSteps: n}
+}
+
+// OnTrainBegin implements Callback.
+func (mc *ModelCheckpoint) OnTrainBegin(t *sim.Thread, env *tf.Env, m *Model) { mc.model = m }
+
+// OnStepBegin implements Callback.
+func (mc *ModelCheckpoint) OnStepBegin(t *sim.Thread, env *tf.Env, step int) {}
+
+// OnStepEnd implements Callback.
+func (mc *ModelCheckpoint) OnStepEnd(t *sim.Thread, env *tf.Env, step int) {
+	if mc.EveryNSteps <= 0 || step%mc.EveryNSteps != 0 || mc.model == nil {
+		return
+	}
+	prefix := fmt.Sprintf("%s/ckpt-%04d", mc.Dir, step)
+	res, err := tfio.WriteCheckpoint(t, env, prefix, mc.model.Vars)
+	if err != nil {
+		panic(fmt.Sprintf("keras: checkpoint: %v", err))
+	}
+	mc.Results = append(mc.Results, res)
+}
+
+// OnTrainEnd implements Callback.
+func (mc *ModelCheckpoint) OnTrainEnd(t *sim.Thread, env *tf.Env) {}
+
+// TotalFwrites sums fwrite calls across all checkpoints written.
+func (mc *ModelCheckpoint) TotalFwrites() int64 {
+	var n int64
+	for _, r := range mc.Results {
+		n += r.FwriteOps
+	}
+	return n
+}

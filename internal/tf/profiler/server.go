@@ -1,0 +1,88 @@
+package profiler
+
+import (
+	"errors"
+
+	"repro/internal/sim"
+)
+
+// Server models tf.profiler.server.start(): a control endpoint inside the
+// running process through which a remote TensorBoard can open and close
+// profiling windows interactively — the third invocation mode the paper
+// lists alongside the automatic callback and manual start/stop. The
+// network socket is modelled as a simulated channel; requests are served
+// by a dedicated in-process thread, concurrent with training.
+type Server struct {
+	p    *Profiler
+	reqs *sim.Chan[request]
+	done bool
+}
+
+type request struct {
+	kind  byte // 's' start, 'x' stop, 'q' shutdown
+	reply *sim.Chan[response]
+}
+
+type response struct {
+	space *XSpace
+	err   error
+}
+
+// ErrServerClosed is returned for requests after Shutdown.
+var ErrServerClosed = errors.New("profiler: server closed")
+
+// StartServer spawns the serving thread on k for profiler p.
+func StartServer(k *sim.Kernel, p *Profiler) *Server {
+	s := &Server{p: p, reqs: sim.NewChan[request](4)}
+	k.Spawn("profiler_server", s.loop)
+	return s
+}
+
+func (s *Server) loop(t *sim.Thread) {
+	for {
+		req, ok := s.reqs.Recv(t)
+		if !ok {
+			return
+		}
+		switch req.kind {
+		case 's':
+			_, err := s.p.Start(t)
+			req.reply.Send(t, response{err: err})
+		case 'x':
+			space, err := s.p.Stop(t)
+			req.reply.Send(t, response{space: space, err: err})
+		case 'q':
+			req.reply.Send(t, response{})
+			s.done = true
+			s.reqs.Close(t)
+			return
+		}
+	}
+}
+
+func (s *Server) roundTrip(t *sim.Thread, kind byte) response {
+	if s.done {
+		return response{err: ErrServerClosed}
+	}
+	reply := sim.NewChan[response](1)
+	s.reqs.Send(t, request{kind: kind, reply: reply})
+	resp, _ := reply.Recv(t)
+	return resp
+}
+
+// RequestStart asks the process to open a profiling session (the remote
+// TensorBoard "capture profile" button).
+func (s *Server) RequestStart(t *sim.Thread) error {
+	return s.roundTrip(t, 's').err
+}
+
+// RequestStop closes the session and returns the collected profile.
+func (s *Server) RequestStop(t *sim.Thread) (*XSpace, error) {
+	resp := s.roundTrip(t, 'x')
+	return resp.space, resp.err
+}
+
+// Shutdown stops the serving thread.
+func (s *Server) Shutdown(t *sim.Thread) {
+	s.roundTrip(t, 'q')
+}

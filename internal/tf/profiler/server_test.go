@@ -1,0 +1,87 @@
+package profiler
+
+import (
+	"errors"
+	"testing"
+
+	"repro/internal/sim"
+)
+
+func TestServerInteractiveWindow(t *testing.T) {
+	k := sim.NewKernel()
+	p := New()
+	s := StartServer(k, p)
+
+	// The "application": annotates ops continuously.
+	appDone := false
+	k.Spawn("app", func(th *sim.Thread) {
+		for i := 0; i < 50; i++ {
+			tm := p.Recorder().Begin(th, "op")
+			th.Sleep(sim.Millisecond)
+			tm.End(th)
+		}
+		appDone = true
+	})
+
+	// The "remote TensorBoard": opens a window mid-run.
+	var space *XSpace
+	k.Spawn("remote", func(th *sim.Thread) {
+		th.Sleep(10 * sim.Millisecond)
+		if err := s.RequestStart(th); err != nil {
+			t.Error(err)
+			return
+		}
+		th.Sleep(15 * sim.Millisecond)
+		var err error
+		space, err = s.RequestStop(th)
+		if err != nil {
+			t.Error(err)
+		}
+		s.Shutdown(th)
+	})
+	if err := k.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if !appDone {
+		t.Fatal("app did not finish")
+	}
+	if space == nil {
+		t.Fatal("no profile collected")
+	}
+	host := space.FindPlane(HostPlaneName)
+	if host == nil || len(host.Lines) == 0 {
+		t.Fatal("host plane empty")
+	}
+	// Only ops inside the ~15ms window were captured, not all 50.
+	n := len(host.Lines[0].Events)
+	if n == 0 || n >= 50 {
+		t.Fatalf("captured %d events, want a mid-run subset", n)
+	}
+}
+
+func TestServerErrorsPropagate(t *testing.T) {
+	k := sim.NewKernel()
+	p := New()
+	s := StartServer(k, p)
+	k.Spawn("remote", func(th *sim.Thread) {
+		if _, err := s.RequestStop(th); !errors.Is(err, ErrNoSession) {
+			t.Errorf("stop without start = %v", err)
+		}
+		if err := s.RequestStart(th); err != nil {
+			t.Error(err)
+		}
+		if err := s.RequestStart(th); !errors.Is(err, ErrSessionActive) {
+			t.Errorf("double start = %v", err)
+		}
+		if _, err := s.RequestStop(th); err != nil {
+			t.Error(err)
+		}
+		s.Shutdown(th)
+		if err := s.RequestStart(th); !errors.Is(err, ErrServerClosed) {
+			t.Errorf("start after shutdown = %v", err)
+		}
+	})
+	if err := k.Run(); err != nil {
+		t.Fatal(err)
+	}
+}

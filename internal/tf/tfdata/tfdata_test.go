@@ -1,0 +1,297 @@
+package tfdata
+
+import (
+	"fmt"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/platform"
+	"repro/internal/sim"
+	"repro/internal/tf"
+	"repro/internal/tf/tfio"
+)
+
+// makeDataset creates n files of size bytes each on the HDD mount.
+func makeDataset(m *platform.Machine, n int, size int64) []string {
+	paths := make([]string, n)
+	for i := range paths {
+		paths[i] = fmt.Sprintf("%s/f%05d", platform.GreendogHDDPath, i)
+		if _, err := m.FS.CreateFile(paths[i], size); err != nil {
+			panic(err)
+		}
+	}
+	return paths
+}
+
+// readMap is the STREAM capture function: I/O only, no preprocessing.
+func readMap(t *sim.Thread, env *tf.Env, path string) (Sample, error) {
+	n, err := tfio.ReadFile(t, env, path)
+	return Sample{Path: path, Bytes: n}, err
+}
+
+func run(t *testing.T, m *platform.Machine, fn func(th *sim.Thread)) {
+	t.Helper()
+	m.K.Spawn("main", fn)
+	if err := m.K.Run(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPipelineDeliversAllBatches(t *testing.T) {
+	m := platform.NewGreendog(platform.Options{})
+	paths := makeDataset(m, 64, 1000)
+	run(t, m, func(th *sim.Thread) {
+		ds := FromFiles(m.Env, paths).Map(readMap, 4).Batch(8).Prefetch(2)
+		it, err := ds.MakeIterator()
+		if err != nil {
+			t.Fatal(err)
+		}
+		var batches, samples int
+		var bytes int64
+		for {
+			b, ok := it.Next(th)
+			if !ok {
+				break
+			}
+			batches++
+			samples += len(b.Samples)
+			bytes += b.Bytes
+		}
+		it.Close(th)
+		if batches != 8 || samples != 64 {
+			t.Fatalf("batches=%d samples=%d", batches, samples)
+		}
+		if bytes != 64*1000 {
+			t.Fatalf("bytes = %d", bytes)
+		}
+	})
+}
+
+func TestPartialFinalBatch(t *testing.T) {
+	m := platform.NewGreendog(platform.Options{})
+	paths := makeDataset(m, 10, 100)
+	run(t, m, func(th *sim.Thread) {
+		it, _ := FromFiles(m.Env, paths).Map(readMap, 2).Batch(4).Prefetch(1).MakeIterator()
+		var sizes []int
+		for {
+			b, ok := it.Next(th)
+			if !ok {
+				break
+			}
+			sizes = append(sizes, len(b.Samples))
+		}
+		it.Close(th)
+		want := []int{4, 4, 2}
+		if len(sizes) != len(want) {
+			t.Fatalf("sizes = %v", sizes)
+		}
+		for i := range want {
+			if sizes[i] != want[i] {
+				t.Fatalf("sizes = %v", sizes)
+			}
+		}
+	})
+}
+
+func TestEarlyCloseTerminatesPipeline(t *testing.T) {
+	// Take fewer batches than available, then Close: all pipeline threads
+	// must exit (the malware case: 339*32 < 10868 files).
+	m := platform.NewGreendog(platform.Options{})
+	paths := makeDataset(m, 100, 1000)
+	run(t, m, func(th *sim.Thread) {
+		it, _ := FromFiles(m.Env, paths).Map(readMap, 8).Batch(4).Prefetch(10).MakeIterator()
+		for i := 0; i < 3; i++ {
+			if _, ok := it.Next(th); !ok {
+				t.Fatal("pipeline ended early")
+			}
+		}
+		it.Close(th)
+	})
+	// kernel.Run returning without deadlock proves all threads exited.
+}
+
+func TestShuffleDeterministicAndPermutes(t *testing.T) {
+	m := platform.NewGreendog(platform.Options{})
+	paths := makeDataset(m, 50, 10)
+	a := FromFiles(m.Env, paths).Shuffle(42).Paths()
+	b := FromFiles(m.Env, paths).Shuffle(42).Paths()
+	c := FromFiles(m.Env, paths).Shuffle(43).Paths()
+	sameAsInput, sameAB, sameAC := true, true, true
+	for i := range paths {
+		if a[i] != paths[i] {
+			sameAsInput = false
+		}
+		if a[i] != b[i] {
+			sameAB = false
+		}
+		if a[i] != c[i] {
+			sameAC = false
+		}
+	}
+	if sameAsInput {
+		t.Fatal("shuffle left order unchanged")
+	}
+	if !sameAB {
+		t.Fatal("same seed gave different orders")
+	}
+	if sameAC {
+		t.Fatal("different seeds gave identical orders")
+	}
+	// All elements preserved.
+	seen := map[string]bool{}
+	for _, p := range a {
+		seen[p] = true
+	}
+	if len(seen) != len(paths) {
+		t.Fatal("shuffle lost elements")
+	}
+}
+
+func TestAutotuneResolvesToCores(t *testing.T) {
+	m := platform.NewGreendog(platform.Options{})
+	paths := makeDataset(m, 4, 10)
+	run(t, m, func(th *sim.Thread) {
+		it, err := FromFiles(m.Env, paths).Map(readMap, AUTOTUNE).Batch(2).MakeIterator()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if it.Workers != m.CPU.Cores() {
+			t.Fatalf("workers = %d, want %d", it.Workers, m.CPU.Cores())
+		}
+		it.Close(th)
+	})
+}
+
+func TestParallelMapOverlapsIO(t *testing.T) {
+	// On Lustre (latency-bound), 8 workers must be much faster than 1.
+	elapsed := func(workers int) int64 {
+		m := platform.NewKebnekaise(platform.Options{})
+		paths := make([]string, 64)
+		for i := range paths {
+			paths[i] = fmt.Sprintf("%s/f%04d", platform.KebnekaiseLustre, i)
+			m.FS.CreateFile(paths[i], 88*1024)
+		}
+		m.K.Spawn("main", func(th *sim.Thread) {
+			it, _ := FromFiles(m.Env, paths).Map(readMap, workers).Batch(8).Prefetch(2).MakeIterator()
+			for {
+				if _, ok := it.Next(th); !ok {
+					break
+				}
+			}
+			it.Close(th)
+		})
+		if err := m.K.Run(); err != nil {
+			panic(err)
+		}
+		return m.K.Now()
+	}
+	t1 := elapsed(1)
+	t8 := elapsed(8)
+	if t8*4 > t1 {
+		t.Fatalf("8 workers took %d, 1 worker %d: want >4x speedup", t8, t1)
+	}
+}
+
+func TestPrefetchOverlapsConsumerDelay(t *testing.T) {
+	// With prefetch, producer keeps working while the consumer "trains".
+	m := platform.NewGreendog(platform.Options{})
+	paths := makeDataset(m, 32, 500_000)
+	var waits []int64
+	run(t, m, func(th *sim.Thread) {
+		it, _ := FromFiles(m.Env, paths).Map(readMap, 4).Batch(4).Prefetch(4).MakeIterator()
+		for {
+			start := th.Now()
+			_, ok := it.Next(th)
+			if !ok {
+				break
+			}
+			waits = append(waits, th.Now()-start)
+			th.Sleep(100 * sim.Millisecond) // consumer compute
+		}
+		it.Close(th)
+	})
+	// After the warmup batch, waits should be near zero: the pipeline
+	// produces during the 50ms compute gaps.
+	var lateWait int64
+	for _, w := range waits[2:] {
+		lateWait += w
+	}
+	if lateWait > int64(len(waits[2:]))*int64(sim.Millisecond) {
+		t.Fatalf("prefetch failed to hide latency: avg late wait %dns", lateWait/int64(len(waits[2:])))
+	}
+}
+
+func TestIteratorStats(t *testing.T) {
+	m := platform.NewGreendog(platform.Options{})
+	paths := makeDataset(m, 12, 100)
+	run(t, m, func(th *sim.Thread) {
+		it, _ := FromFiles(m.Env, paths).Map(readMap, 2).Batch(3).MakeIterator()
+		for {
+			if _, ok := it.Next(th); !ok {
+				break
+			}
+		}
+		it.Close(th)
+		if it.BatchesOut != 4 || it.SamplesOut != 12 || it.BytesOut != 1200 {
+			t.Fatalf("stats: %d batches, %d samples, %d bytes", it.BatchesOut, it.SamplesOut, it.BytesOut)
+		}
+		if it.WaitNs <= 0 {
+			t.Fatal("no wait time recorded")
+		}
+	})
+}
+
+func TestMapWithoutFnFails(t *testing.T) {
+	m := platform.NewGreendog(platform.Options{})
+	if _, err := FromFiles(m.Env, nil).MakeIterator(); err == nil {
+		t.Fatal("expected error for missing map fn")
+	}
+	if _, err := FromFiles(m.Env, nil).Map(readMap, 0).MakeIterator(); err == nil {
+		t.Fatal("expected error for zero parallel calls")
+	}
+}
+
+// Property: every file is delivered exactly once regardless of worker
+// count, batch size and prefetch depth.
+func TestPropertyExactlyOnceDelivery(t *testing.T) {
+	f := func(nFiles, workers, batch, prefetch uint8) bool {
+		n := int(nFiles%40) + 1
+		w := int(workers%8) + 1
+		bs := int(batch%7) + 1
+		pf := int(prefetch % 5)
+		m := platform.NewGreendog(platform.Options{})
+		paths := makeDataset(m, n, 256)
+		got := map[string]int{}
+		m.K.Spawn("main", func(th *sim.Thread) {
+			it, err := FromFiles(m.Env, paths).Shuffle(7).Map(readMap, w).Batch(bs).Prefetch(pf).MakeIterator()
+			if err != nil {
+				panic(err)
+			}
+			for {
+				b, ok := it.Next(th)
+				if !ok {
+					break
+				}
+				for _, s := range b.Samples {
+					got[s.Path]++
+				}
+			}
+			it.Close(th)
+		})
+		if err := m.K.Run(); err != nil {
+			return false
+		}
+		if len(got) != n {
+			return false
+		}
+		for _, c := range got {
+			if c != 1 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,54 @@
+package tfdata
+
+import (
+	"repro/internal/sim"
+	"repro/internal/tf"
+	"repro/internal/tf/tfio"
+)
+
+// FromTFRecordShards builds a pipeline over TFRecord container shards: the
+// map stage scans whole shards with large sequential reads and emits one
+// Sample per packed record. This is the container-based counterpart of the
+// per-file FromFiles pipeline, letting the same training loop consume
+// either layout — the comparison the paper's §VII discussion motivates.
+func FromTFRecordShards(env *tf.Env, shards []*tfio.ShardIndex) *Dataset {
+	byPath := make(map[string]*tfio.ShardIndex, len(shards))
+	paths := make([]string, 0, len(shards))
+	for _, s := range shards {
+		byPath[s.Path] = s
+		paths = append(paths, s.Path)
+	}
+	d := FromFiles(env, paths)
+	d.mapFn = func(t *sim.Thread, env *tf.Env, path string) (Sample, error) {
+		idx := byPath[path]
+		n, err := tfio.ScanShard(t, env, idx)
+		if err != nil {
+			return Sample{}, err
+		}
+		return Sample{Path: path, Bytes: n}, nil
+	}
+	d.shardSizes = byPath
+	return d
+}
+
+// shardSamples reports how many packed samples a delivered element
+// carries (1 for plain files).
+func (d *Dataset) shardSamples(path string) int {
+	if d.shardSizes == nil {
+		return 1
+	}
+	if idx, ok := d.shardSizes[path]; ok {
+		return idx.Samples
+	}
+	return 1
+}
+
+// SamplesIn returns the number of training samples a batch carries,
+// accounting for container shards that pack many samples per element.
+func (d *Dataset) SamplesIn(b Batch) int {
+	total := 0
+	for _, s := range b.Samples {
+		total += d.shardSamples(s.Path)
+	}
+	return total
+}

@@ -1,0 +1,103 @@
+package tfdata
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/platform"
+	"repro/internal/sim"
+	"repro/internal/tf/tfio"
+)
+
+func TestFromTFRecordShardsPipeline(t *testing.T) {
+	m := platform.NewGreendog(platform.Options{})
+	paths := makeDataset(m, 64, 88*1024)
+	var shards []*tfio.ShardIndex
+	var samples, elements int
+	var bytes int64
+	run(t, m, func(th *sim.Thread) {
+		var err error
+		shards, err = tfio.BuildTFRecordShards(th, m.Env, paths, platform.GreendogHDDPath+"/tfr", 2<<20)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ds := FromTFRecordShards(m.Env, shards).Batch(2).Prefetch(2)
+		it, err := ds.MakeIterator()
+		if err != nil {
+			t.Fatal(err)
+		}
+		for {
+			b, ok := it.Next(th)
+			if !ok {
+				break
+			}
+			elements += len(b.Samples)
+			samples += ds.SamplesIn(b)
+			bytes += b.Bytes
+		}
+		it.Close(th)
+	})
+	if elements != len(shards) {
+		t.Fatalf("elements = %d, want %d shards", elements, len(shards))
+	}
+	if samples != 64 {
+		t.Fatalf("samples = %d, want 64", samples)
+	}
+	// Shard bytes include per-record framing.
+	if want := int64(64) * (88*1024 + 16); bytes != want {
+		t.Fatalf("bytes = %d, want %d", bytes, want)
+	}
+}
+
+func TestShardPipelineFasterThanPerFile(t *testing.T) {
+	m := platform.NewGreendog(platform.Options{})
+	paths := makeDataset(m, 128, 88*1024)
+	var perFileNs, shardNs int64
+	run(t, m, func(th *sim.Thread) {
+		t0 := th.Now()
+		it, _ := FromFiles(m.Env, paths).Map(readMap, 1).Batch(16).Prefetch(2).MakeIterator()
+		for {
+			if _, ok := it.Next(th); !ok {
+				break
+			}
+		}
+		it.Close(th)
+		perFileNs = th.Now() - t0
+
+		shards, err := tfio.BuildTFRecordShards(th, m.Env, paths, platform.GreendogHDDPath+"/tfr", 4<<20)
+		if err != nil {
+			t.Fatal(err)
+		}
+		t0 = th.Now()
+		it2, _ := FromTFRecordShards(m.Env, shards).Batch(1).Prefetch(2).MakeIterator()
+		for {
+			if _, ok := it2.Next(th); !ok {
+				break
+			}
+		}
+		it2.Close(th)
+		shardNs = th.Now() - t0
+	})
+	if shardNs*3 > perFileNs {
+		t.Fatalf("shard pipeline %.1fms vs per-file %.1fms: want >3x faster",
+			float64(shardNs)/1e6, float64(perFileNs)/1e6)
+	}
+	_ = fmt.Sprint()
+}
+
+func TestSamplesInPlainFiles(t *testing.T) {
+	m := platform.NewGreendog(platform.Options{})
+	paths := makeDataset(m, 4, 100)
+	run(t, m, func(th *sim.Thread) {
+		ds := FromFiles(m.Env, paths).Map(readMap, 1).Batch(4)
+		it, _ := ds.MakeIterator()
+		b, ok := it.Next(th)
+		if !ok {
+			t.Fatal("no batch")
+		}
+		if got := ds.SamplesIn(b); got != 4 {
+			t.Fatalf("SamplesIn = %d", got)
+		}
+		it.Close(th)
+	})
+}

@@ -1,0 +1,85 @@
+// Package tfio provides the file operations of the TensorFlow POSIX file
+// system layer: whole-file reads as performed by tf.io.read_file (a
+// chunked pread loop that terminates on a zero-length read — the behaviour
+// the paper uncovered behind its doubled read counts), buffered writable
+// files that append through STDIO fwrite, and the checkpoint writer whose
+// fwrite pattern the paper's Fig. 6 captures.
+package tfio
+
+import (
+	"fmt"
+
+	"repro/internal/sim"
+	"repro/internal/tf"
+	"repro/internal/vfs"
+)
+
+// ReadChunk is the buffer size of the ReadFile pread loop. With the
+// paper's datasets this yields one data read plus one zero-length read for
+// ImageNet's ~88KB files, and ~1MiB segments for the malware corpus's
+// multi-MB files.
+const ReadChunk = 1 << 20
+
+// ReadFile reads the whole file like TF's ReadFileOp: open, pread in
+// chunks until a zero-length read signals EOF, close. It returns the byte
+// count read.
+func ReadFile(t *sim.Thread, env *tf.Env, path string) (int64, error) {
+	tm := env.Trace(t, "ReadFile")
+	defer tm.End(t)
+	fd, err := env.Libc.Open(t, path, vfs.O_RDONLY)
+	if err != nil {
+		return 0, fmt.Errorf("tfio: %w", err)
+	}
+	defer env.Libc.Close(t, fd)
+	buf := env.ScratchBuf(t, ReadChunk)
+	var total int64
+	for {
+		n, err := env.Libc.Pread(t, fd, buf, total)
+		if err != nil {
+			return total, fmt.Errorf("tfio: %w", err)
+		}
+		if n == 0 {
+			return total, nil
+		}
+		total += int64(n)
+	}
+}
+
+// WritableFile is TF's buffered writable file: appends go through STDIO
+// fwrite, so Darshan's STDIO module sees them (and the POSIX module does
+// not).
+type WritableFile struct {
+	env    *tf.Env
+	stream *vfs.Stream
+	path   string
+	// Appends counts fwrite calls issued (Fig. 6's metric).
+	Appends int64
+}
+
+// NewWritableFile creates/truncates path for writing.
+func NewWritableFile(t *sim.Thread, env *tf.Env, path string) (*WritableFile, error) {
+	st, err := env.Libc.Fopen(t, path, "w")
+	if err != nil {
+		return nil, fmt.Errorf("tfio: %w", err)
+	}
+	return &WritableFile{env: env, stream: st, path: path}, nil
+}
+
+// Append writes data at the end of the file via fwrite.
+func (w *WritableFile) Append(t *sim.Thread, data []byte) error {
+	if _, err := w.env.Libc.Fwrite(t, w.stream, data); err != nil {
+		return fmt.Errorf("tfio: append %s: %w", w.path, err)
+	}
+	w.Appends++
+	return nil
+}
+
+// Flush forces buffered bytes down.
+func (w *WritableFile) Flush(t *sim.Thread) error {
+	return w.env.Libc.Fflush(t, w.stream)
+}
+
+// Close flushes and closes the file.
+func (w *WritableFile) Close(t *sim.Thread) error {
+	return w.env.Libc.Fclose(t, w.stream)
+}

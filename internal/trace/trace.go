@@ -1,0 +1,166 @@
+// Package trace exports profiler data in the Chrome trace-event format
+// that TensorBoard's TraceViewer consumes (the trace.json.gz of the
+// paper's Fig. 1), and renders text timelines for terminal inspection of
+// the Fig. 8 / Fig. 10 views.
+package trace
+
+import (
+	"compress/gzip"
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+
+	"repro/internal/tf/profiler"
+)
+
+// Event is a Chrome trace-event ("X" complete events only, which is what
+// TensorBoard emits for op spans).
+type Event struct {
+	Name string            `json:"name"`
+	Cat  string            `json:"cat,omitempty"`
+	Ph   string            `json:"ph"`
+	TS   float64           `json:"ts"`  // microseconds
+	Dur  float64           `json:"dur"` // microseconds
+	PID  int               `json:"pid"`
+	TID  int64             `json:"tid"`
+	Args map[string]string `json:"args,omitempty"`
+}
+
+// Metadata is a process/thread-name metadata event.
+type Metadata struct {
+	Name string            `json:"name"`
+	Ph   string            `json:"ph"`
+	PID  int               `json:"pid"`
+	TID  int64             `json:"tid,omitempty"`
+	Args map[string]string `json:"args"`
+}
+
+// File is a complete trace document.
+type File struct {
+	TraceEvents []json.RawMessage `json:"traceEvents"`
+}
+
+// FromXSpace converts an XSpace to trace events: one trace "process" per
+// plane, one thread per line, preserving names. Event times are converted
+// from virtual nanoseconds to microseconds relative to sessionStartNs.
+func FromXSpace(space *profiler.XSpace, sessionStartNs int64) *File {
+	f := &File{}
+	add := func(v any) {
+		b, err := json.Marshal(v)
+		if err != nil {
+			panic(err) // static shapes: cannot fail
+		}
+		f.TraceEvents = append(f.TraceEvents, b)
+	}
+	for pi, plane := range space.Planes {
+		pid := pi + 1
+		add(Metadata{Name: "process_name", Ph: "M", PID: pid,
+			Args: map[string]string{"name": plane.Name}})
+		for _, line := range plane.Lines {
+			add(Metadata{Name: "thread_name", Ph: "M", PID: pid, TID: line.ID,
+				Args: map[string]string{"name": line.Name}})
+			for _, ev := range line.Events {
+				add(Event{
+					Name: ev.Name,
+					Ph:   "X",
+					TS:   float64(ev.StartNs-sessionStartNs) / 1e3,
+					Dur:  float64(ev.DurNs) / 1e3,
+					PID:  pid,
+					TID:  line.ID,
+					Args: ev.Metadata,
+				})
+			}
+		}
+	}
+	return f
+}
+
+// WriteJSON writes the trace as plain JSON.
+func (f *File) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	return enc.Encode(f)
+}
+
+// WriteJSONGz writes trace.json.gz, the artifact TensorBoard loads.
+func (f *File) WriteJSONGz(w io.Writer) error {
+	zw := gzip.NewWriter(w)
+	if err := f.WriteJSON(zw); err != nil {
+		return err
+	}
+	return zw.Close()
+}
+
+// ReadJSONGz parses a trace.json.gz document.
+func ReadJSONGz(r io.Reader) (*File, error) {
+	zr, err := gzip.NewReader(r)
+	if err != nil {
+		return nil, err
+	}
+	defer zr.Close()
+	var f File
+	if err := json.NewDecoder(zr).Decode(&f); err != nil {
+		return nil, err
+	}
+	return &f, nil
+}
+
+// parsedEvent is the renderer's decoded view of a raw event.
+type parsedEvent struct {
+	Event
+}
+
+// RenderTimelines renders a text TraceViewer: per plane, per line, events
+// in time order with offsets/lengths from their args — the terminal
+// equivalent of zooming into Fig. 8's POSIX timelines. maxLinesPerPlane
+// and maxEventsPerLine bound the output (0 = unlimited).
+func RenderTimelines(space *profiler.XSpace, sessionStartNs int64, maxLinesPerPlane, maxEventsPerLine int) string {
+	var b strings.Builder
+	for _, plane := range space.Planes {
+		fmt.Fprintf(&b, "=== %s ===\n", plane.Name)
+		if len(plane.Stats) > 0 {
+			keys := make([]string, 0, len(plane.Stats))
+			for k := range plane.Stats {
+				keys = append(keys, k)
+			}
+			sort.Strings(keys)
+			for _, k := range keys {
+				fmt.Fprintf(&b, "    %s: %s\n", k, plane.Stats[k])
+			}
+		}
+		lines := plane.Lines
+		if maxLinesPerPlane > 0 && len(lines) > maxLinesPerPlane {
+			lines = lines[:maxLinesPerPlane]
+		}
+		for _, line := range lines {
+			fmt.Fprintf(&b, "  -- %s\n", line.Name)
+			events := line.Events
+			if maxEventsPerLine > 0 && len(events) > maxEventsPerLine {
+				events = events[:maxEventsPerLine]
+			}
+			for _, ev := range events {
+				start := float64(ev.StartNs-sessionStartNs) / 1e6
+				fmt.Fprintf(&b, "     [%12.3fms +%9.3fms] %s", start, float64(ev.DurNs)/1e6, ev.Name)
+				if len(ev.Metadata) > 0 {
+					keys := make([]string, 0, len(ev.Metadata))
+					for k := range ev.Metadata {
+						keys = append(keys, k)
+					}
+					sort.Strings(keys)
+					for _, k := range keys {
+						fmt.Fprintf(&b, " %s=%s", k, ev.Metadata[k])
+					}
+				}
+				b.WriteByte('\n')
+			}
+			if maxEventsPerLine > 0 && len(line.Events) > maxEventsPerLine {
+				fmt.Fprintf(&b, "     ... %d more events\n", len(line.Events)-maxEventsPerLine)
+			}
+		}
+		if maxLinesPerPlane > 0 && len(plane.Lines) > maxLinesPerPlane {
+			fmt.Fprintf(&b, "  ... %d more timelines\n", len(plane.Lines)-maxLinesPerPlane)
+		}
+	}
+	return b.String()
+}

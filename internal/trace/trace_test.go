@@ -1,0 +1,105 @@
+package trace
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"repro/internal/tf/profiler"
+)
+
+func sampleSpace() *profiler.XSpace {
+	var s profiler.XSpace
+	host := s.Plane("/host:CPU")
+	l := host.Line(1, "main")
+	l.Events = append(l.Events, profiler.XEvent{Name: "train_step", StartNs: 1_000_000, DurNs: 2_000_000})
+	d := s.Plane("/host:tf-darshan(POSIX)")
+	d.SetStat("posix_reads", "4")
+	f := d.Line(2, "/data/a.jpg")
+	f.Events = append(f.Events,
+		profiler.XEvent{Name: "pread", StartNs: 1_100_000, DurNs: 500_000,
+			Metadata: map[string]string{"offset": "0", "length": "88064"}},
+		profiler.XEvent{Name: "pread", StartNs: 1_700_000, DurNs: 1_000,
+			Metadata: map[string]string{"offset": "88064", "length": "0"}},
+	)
+	return &s
+}
+
+func TestFromXSpaceStructure(t *testing.T) {
+	f := FromXSpace(sampleSpace(), 1_000_000)
+	// 2 process metadata + 2 thread metadata + 3 events.
+	if len(f.TraceEvents) != 7 {
+		t.Fatalf("events = %d", len(f.TraceEvents))
+	}
+	blob := string(bytes.Join([][]byte{[]byte("")}, nil))
+	_ = blob
+	joined := ""
+	for _, raw := range f.TraceEvents {
+		joined += string(raw)
+	}
+	for _, want := range []string{
+		`"process_name"`, `"thread_name"`, `"/host:tf-darshan(POSIX)"`,
+		`"train_step"`, `"pread"`, `"offset":"88064"`, `"length":"0"`,
+	} {
+		if !strings.Contains(joined, want) {
+			t.Fatalf("trace missing %s", want)
+		}
+	}
+	// Session-relative timestamps: first event at t=0us.
+	if !strings.Contains(joined, `"ts":0`) {
+		t.Fatal("timestamps not session-relative")
+	}
+}
+
+func TestJSONGzRoundTrip(t *testing.T) {
+	f := FromXSpace(sampleSpace(), 0)
+	var buf bytes.Buffer
+	if err := f.WriteJSONGz(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadJSONGz(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got.TraceEvents) != len(f.TraceEvents) {
+		t.Fatalf("round trip lost events: %d vs %d", len(got.TraceEvents), len(f.TraceEvents))
+	}
+}
+
+func TestReadJSONGzRejectsPlain(t *testing.T) {
+	if _, err := ReadJSONGz(strings.NewReader(`{"traceEvents":[]}`)); err == nil {
+		t.Fatal("plain JSON accepted as gzip")
+	}
+}
+
+func TestRenderTimelines(t *testing.T) {
+	out := RenderTimelines(sampleSpace(), 1_000_000, 0, 0)
+	for _, want := range []string{
+		"=== /host:CPU ===", "train_step",
+		"=== /host:tf-darshan(POSIX) ===",
+		"posix_reads: 4",
+		"/data/a.jpg", "length=0", "offset=88064",
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("render missing %q in:\n%s", want, out)
+		}
+	}
+}
+
+func TestRenderTimelinesTruncation(t *testing.T) {
+	var s profiler.XSpace
+	p := s.Plane("/p")
+	for i := int64(0); i < 10; i++ {
+		l := p.Line(i, "line")
+		for j := 0; j < 20; j++ {
+			l.Events = append(l.Events, profiler.XEvent{Name: "e", StartNs: int64(j), DurNs: 1})
+		}
+	}
+	out := RenderTimelines(&s, 0, 2, 3)
+	if !strings.Contains(out, "... 8 more timelines") {
+		t.Fatalf("line truncation missing:\n%s", out)
+	}
+	if !strings.Contains(out, "... 17 more events") {
+		t.Fatalf("event truncation missing:\n%s", out)
+	}
+}

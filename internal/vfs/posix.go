@@ -1,0 +1,255 @@
+package vfs
+
+import (
+	"fmt"
+	"path"
+
+	"repro/internal/sim"
+)
+
+// FileInfo is the result of Stat.
+type FileInfo struct {
+	Path string
+	Size int64
+	Ino  int64
+}
+
+func (fs *FS) syscall(t *sim.Thread) {
+	if fs.cfg.SyscallCPU > 0 {
+		t.Sleep(fs.cfg.SyscallCPU)
+	}
+}
+
+// Open opens a file, charging cold metadata I/O on first touch. It returns
+// a file descriptor.
+func (fs *FS) Open(t *sim.Thread, p string, flags int) (int, error) {
+	fs.syscall(t)
+	p = path.Clean(p)
+	ino, ok := fs.inodes[p]
+	if !ok {
+		if flags&O_CREAT == 0 {
+			return -1, fmt.Errorf("open %s: %w", p, ErrNotExist)
+		}
+		m, err := fs.MountFor(p)
+		if err != nil {
+			return -1, fmt.Errorf("open %s: %w", p, err)
+		}
+		ino = fs.newInode(p, m)
+		ino.warm = true // creator holds the metadata in cache
+	} else {
+		fs.chargeColdOpen(t, ino)
+	}
+	if flags&O_TRUNC != 0 {
+		ino.Size = 0
+		ino.content = nil
+	}
+	of := &openFile{inode: ino, flags: flags}
+	if flags&O_APPEND != 0 {
+		of.offset = ino.Size
+	}
+	fd := fs.nextFD
+	fs.nextFD++
+	fs.fds[fd] = of
+	return fd, nil
+}
+
+// Close closes a file descriptor.
+func (fs *FS) Close(t *sim.Thread, fd int) error {
+	fs.syscall(t)
+	of, ok := fs.fds[fd]
+	if !ok || of.closed {
+		return ErrBadFD
+	}
+	of.closed = true
+	delete(fs.fds, fd)
+	return nil
+}
+
+func (fs *FS) lookupFD(fd int) (*openFile, error) {
+	of, ok := fs.fds[fd]
+	if !ok || of.closed {
+		return nil, ErrBadFD
+	}
+	return of, nil
+}
+
+func accMode(flags int) int { return flags & 0x3 }
+
+// Pread reads into buf at the given offset without moving the file offset.
+// Reading at or past EOF returns 0 bytes and no error, the POSIX behaviour
+// TensorFlow's read loop relies on to detect end of file.
+func (fs *FS) Pread(t *sim.Thread, fd int, buf []byte, off int64) (int, error) {
+	fs.syscall(t)
+	of, err := fs.lookupFD(fd)
+	if err != nil {
+		return -1, err
+	}
+	if accMode(of.flags) == O_WRONLY {
+		return -1, ErrWriteOny
+	}
+	if off < 0 {
+		return -1, ErrInvalid
+	}
+	ino := of.inode
+	if off >= ino.Size || len(buf) == 0 {
+		return 0, nil // EOF: no device access
+	}
+	n := int64(len(buf))
+	if off+n > ino.Size {
+		n = ino.Size - off
+	}
+	ino.Mnt.Dev.Read(t, ino.Extent+off, n)
+	ino.fillContent(buf[:n], off)
+	return int(n), nil
+}
+
+// Read reads from the current offset and advances it.
+func (fs *FS) Read(t *sim.Thread, fd int, buf []byte) (int, error) {
+	of, err := fs.lookupFD(fd)
+	if err != nil {
+		fs.syscall(t)
+		return -1, err
+	}
+	n, err := fs.Pread(t, fd, buf, of.offset)
+	if n > 0 {
+		of.offset += int64(n)
+	}
+	return n, err
+}
+
+// Pwrite writes buf at the given offset without moving the file offset.
+func (fs *FS) Pwrite(t *sim.Thread, fd int, buf []byte, off int64) (int, error) {
+	fs.syscall(t)
+	of, err := fs.lookupFD(fd)
+	if err != nil {
+		return -1, err
+	}
+	if accMode(of.flags) == O_RDONLY {
+		return -1, ErrReadOnly
+	}
+	if off < 0 {
+		return -1, ErrInvalid
+	}
+	return fs.writeAt(t, of.inode, buf, off)
+}
+
+// writeAt performs the device write and bookkeeping shared by Pwrite and
+// the STDIO flush path (which bypasses the syscall wrappers, as libc's
+// internals bypass the PLT).
+func (fs *FS) writeAt(t *sim.Thread, ino *Inode, buf []byte, off int64) (int, error) {
+	n := int64(len(buf))
+	if n == 0 {
+		return 0, nil
+	}
+	if !ino.alloc {
+		fs.allocExtent(ino, 0)
+	}
+	end := off + n
+	if end > ino.Size {
+		// Grow: advance the allocator cursor when this file is the most
+		// recently allocated region (the common append-only case).
+		grow := end - ino.Size
+		if ino.Extent+ino.Size == ino.Mnt.cursor {
+			ino.Mnt.cursor += grow
+		}
+		ino.Size = end
+	}
+	const contentCap = 4 << 20
+	if end <= contentCap && (ino.content != nil || off == 0 || int64(len(ino.content)) >= off) {
+		if int64(len(ino.content)) < end {
+			ino.content = append(ino.content, make([]byte, end-int64(len(ino.content)))...)
+		}
+		copy(ino.content[off:end], buf)
+	} else if end > contentCap {
+		ino.content = nil // too large to store; sizes/timing only
+	}
+	ino.Mnt.Dev.Write(t, ino.Extent+off, n)
+	return int(n), nil
+}
+
+// Write writes at the current offset and advances it.
+func (fs *FS) Write(t *sim.Thread, fd int, buf []byte) (int, error) {
+	of, err := fs.lookupFD(fd)
+	if err != nil {
+		fs.syscall(t)
+		return -1, err
+	}
+	if of.flags&O_APPEND != 0 {
+		of.offset = of.inode.Size
+	}
+	n, err := fs.Pwrite(t, fd, buf, of.offset)
+	if n > 0 {
+		of.offset += int64(n)
+	}
+	return n, err
+}
+
+// Lseek repositions the file offset.
+func (fs *FS) Lseek(t *sim.Thread, fd int, off int64, whence int) (int64, error) {
+	fs.syscall(t)
+	of, err := fs.lookupFD(fd)
+	if err != nil {
+		return -1, err
+	}
+	var base int64
+	switch whence {
+	case SeekSet:
+		base = 0
+	case SeekCur:
+		base = of.offset
+	case SeekEnd:
+		base = of.inode.Size
+	default:
+		return -1, ErrInvalid
+	}
+	np := base + off
+	if np < 0 {
+		return -1, ErrInvalid
+	}
+	of.offset = np
+	return np, nil
+}
+
+// Stat returns file metadata, charging cold metadata I/O on first touch.
+func (fs *FS) Stat(t *sim.Thread, p string) (FileInfo, error) {
+	fs.syscall(t)
+	ino, ok := fs.inodes[path.Clean(p)]
+	if !ok {
+		return FileInfo{}, fmt.Errorf("stat %s: %w", p, ErrNotExist)
+	}
+	fs.chargeColdOpen(t, ino)
+	return FileInfo{Path: ino.Path, Size: ino.Size, Ino: ino.Ino}, nil
+}
+
+// Fstat returns metadata for an open descriptor (never cold).
+func (fs *FS) Fstat(t *sim.Thread, fd int) (FileInfo, error) {
+	fs.syscall(t)
+	of, err := fs.lookupFD(fd)
+	if err != nil {
+		return FileInfo{}, err
+	}
+	ino := of.inode
+	return FileInfo{Path: ino.Path, Size: ino.Size, Ino: ino.Ino}, nil
+}
+
+// Fsync forces written data to the device. Data writes are synchronous in
+// this model, so fsync costs only the syscall plus a small device barrier.
+func (fs *FS) Fsync(t *sim.Thread, fd int) error {
+	fs.syscall(t)
+	_, err := fs.lookupFD(fd)
+	return err
+}
+
+// Unlink removes a file from the namespace.
+func (fs *FS) Unlink(t *sim.Thread, p string) error {
+	fs.syscall(t)
+	p = path.Clean(p)
+	if _, ok := fs.inodes[p]; !ok {
+		return fmt.Errorf("unlink %s: %w", p, ErrNotExist)
+	}
+	delete(fs.inodes, p)
+	return nil
+}
+
+// OpenFDs returns the number of open descriptors (for leak checks).
+func (fs *FS) OpenFDs() int { return len(fs.fds) }

@@ -1,0 +1,201 @@
+package vfs
+
+import (
+	"fmt"
+	"path"
+
+	"repro/internal/sim"
+)
+
+// StdioBufSize is the libc stream buffer size (glibc uses the block size,
+// typically 4KiB; TensorFlow's buffered writable file makes much larger
+// appends that bypass the buffer, as glibc does for writes >= bufsize).
+const StdioBufSize = 4096
+
+// Stream is a buffered STDIO stream (FILE*). Its internal flushes call the
+// FS write path directly rather than going through the GOT, mirroring how
+// glibc's stdio internals bypass the PLT — which is exactly why the paper's
+// checkpoint activity shows up in Darshan's STDIO module but not its POSIX
+// module (paper Fig. 6).
+type Stream struct {
+	fs     *FS
+	inode  *Inode
+	read   bool
+	write  bool
+	offset int64
+	buf    []byte
+	bufOff int64 // file offset of buf[0]
+	closed bool
+
+	// Flushes records the number of buffer flushes (visible to tests).
+	Flushes int64
+}
+
+// Stdio is the libc stream layer over an FS.
+type Stdio struct {
+	fs *FS
+}
+
+// NewStdio returns the STDIO layer for fs.
+func NewStdio(fs *FS) *Stdio { return &Stdio{fs: fs} }
+
+// Fopen opens a stream. Modes "r", "w", "a" (with optional "+") are
+// supported.
+func (s *Stdio) Fopen(t *sim.Thread, p, mode string) (*Stream, error) {
+	s.fs.syscall(t)
+	var rd, wr, trunc, appnd, creat bool
+	if len(mode) == 0 {
+		return nil, ErrInvalid
+	}
+	switch mode[0] {
+	case 'r':
+		rd = true
+	case 'w':
+		wr, trunc, creat = true, true, true
+	case 'a':
+		wr, appnd, creat = true, true, true
+	default:
+		return nil, ErrInvalid
+	}
+	for _, c := range mode[1:] {
+		if c == '+' {
+			rd, wr = true, true
+		}
+	}
+	ino, ok := s.fs.inodes[path.Clean(p)]
+	if !ok {
+		if !creat {
+			return nil, fmt.Errorf("fopen %s: %w", p, ErrNotExist)
+		}
+		m, err := s.fs.MountFor(p)
+		if err != nil {
+			return nil, err
+		}
+		ino = s.fs.newInode(path.Clean(p), m)
+		ino.warm = true
+	} else {
+		s.fs.chargeColdOpen(t, ino)
+	}
+	if trunc {
+		ino.Size = 0
+		ino.content = nil
+	}
+	st := &Stream{fs: s.fs, inode: ino, read: rd, write: wr}
+	if appnd {
+		st.offset = ino.Size
+	}
+	return st, nil
+}
+
+// Fwrite appends len(data) bytes to the stream buffer, flushing to the
+// device when the buffer fills. Writes at least as large as the buffer are
+// written through directly (glibc behaviour).
+func (s *Stdio) Fwrite(t *sim.Thread, st *Stream, data []byte) (int, error) {
+	if st.closed || !st.write {
+		return 0, ErrBadFD
+	}
+	if len(data) == 0 {
+		return 0, nil
+	}
+	if len(data) >= StdioBufSize {
+		if err := s.Fflush(t, st); err != nil {
+			return 0, err
+		}
+		n, err := st.fs.writeAt(t, st.inode, data, st.offset)
+		if n > 0 {
+			st.offset += int64(n)
+		}
+		return n, err
+	}
+	if len(st.buf) == 0 {
+		st.bufOff = st.offset
+	}
+	st.buf = append(st.buf, data...)
+	st.offset += int64(len(data))
+	if len(st.buf) >= StdioBufSize {
+		if err := s.Fflush(t, st); err != nil {
+			return 0, err
+		}
+	}
+	return len(data), nil
+}
+
+// Fread reads up to len(buf) bytes from the stream, returning the count
+// (0 at EOF, matching feof semantics closely enough for instrumentation).
+func (s *Stdio) Fread(t *sim.Thread, st *Stream, buf []byte) (int, error) {
+	if st.closed || !st.read {
+		return 0, ErrBadFD
+	}
+	if err := s.Fflush(t, st); err != nil {
+		return 0, err
+	}
+	ino := st.inode
+	if st.offset >= ino.Size || len(buf) == 0 {
+		return 0, nil
+	}
+	n := int64(len(buf))
+	if st.offset+n > ino.Size {
+		n = ino.Size - st.offset
+	}
+	ino.Mnt.Dev.Read(t, ino.Extent+st.offset, n)
+	ino.fillContent(buf[:n], st.offset)
+	st.offset += n
+	return int(n), nil
+}
+
+// Fseek repositions the stream, flushing pending output first.
+func (s *Stdio) Fseek(t *sim.Thread, st *Stream, off int64, whence int) error {
+	if st.closed {
+		return ErrBadFD
+	}
+	if err := s.Fflush(t, st); err != nil {
+		return err
+	}
+	var base int64
+	switch whence {
+	case SeekSet:
+		base = 0
+	case SeekCur:
+		base = st.offset
+	case SeekEnd:
+		base = st.inode.Size
+	default:
+		return ErrInvalid
+	}
+	np := base + off
+	if np < 0 {
+		return ErrInvalid
+	}
+	st.offset = np
+	return nil
+}
+
+// Ftell returns the current stream offset.
+func (s *Stdio) Ftell(st *Stream) int64 { return st.offset }
+
+// Fflush writes any buffered data to the device.
+func (s *Stdio) Fflush(t *sim.Thread, st *Stream) error {
+	if st.closed {
+		return ErrBadFD
+	}
+	if len(st.buf) == 0 {
+		return nil
+	}
+	_, err := st.fs.writeAt(t, st.inode, st.buf, st.bufOff)
+	st.buf = st.buf[:0]
+	st.Flushes++
+	return err
+}
+
+// Fclose flushes and closes the stream.
+func (s *Stdio) Fclose(t *sim.Thread, st *Stream) error {
+	if st.closed {
+		return ErrBadFD
+	}
+	if err := s.Fflush(t, st); err != nil {
+		return err
+	}
+	s.fs.syscall(t)
+	st.closed = true
+	return nil
+}

@@ -1,0 +1,175 @@
+package vfs
+
+import (
+	"errors"
+	"testing"
+
+	"repro/internal/sim"
+	"repro/internal/storage"
+)
+
+func TestFwriteBuffersSmallWrites(t *testing.T) {
+	fs, _, _, hdd, _ := testFS()
+	stdio := NewStdio(fs)
+	runSim(t, func(th *sim.Thread) {
+		st, err := stdio.Fopen(th, "/data/log.txt", "w")
+		if err != nil {
+			t.Fatal(err)
+		}
+		before := hdd.Counters().WriteOps
+		for i := 0; i < 10; i++ {
+			if n, err := stdio.Fwrite(th, st, make([]byte, 100)); n != 100 || err != nil {
+				t.Fatalf("Fwrite = %d, %v", n, err)
+			}
+		}
+		if hdd.Counters().WriteOps != before {
+			t.Fatal("small fwrites reached the device before a flush")
+		}
+		if err := stdio.Fclose(th, st); err != nil {
+			t.Fatal(err)
+		}
+		if hdd.Counters().WriteOps != before+1 {
+			t.Fatalf("close should flush exactly once, writes = %d", hdd.Counters().WriteOps-before)
+		}
+	})
+	ino, _ := fs.Lookup("/data/log.txt")
+	if ino.Size != 1000 {
+		t.Fatalf("size = %d, want 1000", ino.Size)
+	}
+}
+
+func TestFwriteLargeWritesBypassBuffer(t *testing.T) {
+	fs, _, _, hdd, _ := testFS()
+	stdio := NewStdio(fs)
+	runSim(t, func(th *sim.Thread) {
+		st, _ := stdio.Fopen(th, "/data/ckpt", "w")
+		big := make([]byte, 2*StdioBufSize)
+		stdio.Fwrite(th, st, big)
+		if got := hdd.Counters().WriteOps; got != 1 {
+			t.Fatalf("device writes = %d, want 1 (write-through)", got)
+		}
+		stdio.Fclose(th, st)
+	})
+}
+
+func TestFreadRoundTrip(t *testing.T) {
+	fs, _, _, _, _ := testFS()
+	stdio := NewStdio(fs)
+	runSim(t, func(th *sim.Thread) {
+		st, _ := stdio.Fopen(th, "/data/w", "w")
+		stdio.Fwrite(th, st, []byte("abcdefgh"))
+		stdio.Fclose(th, st)
+
+		st, err := stdio.Fopen(th, "/data/w", "r")
+		if err != nil {
+			t.Fatal(err)
+		}
+		buf := make([]byte, 4)
+		if n, _ := stdio.Fread(th, st, buf); n != 4 || string(buf) != "abcd" {
+			t.Fatalf("Fread = %d %q", n, buf)
+		}
+		if n, _ := stdio.Fread(th, st, buf); n != 4 || string(buf) != "efgh" {
+			t.Fatalf("Fread2 = %d %q", n, buf)
+		}
+		if n, _ := stdio.Fread(th, st, buf); n != 0 {
+			t.Fatalf("Fread at EOF = %d", n)
+		}
+		stdio.Fclose(th, st)
+	})
+}
+
+func TestFopenModes(t *testing.T) {
+	fs, _, _, _, _ := testFS()
+	stdio := NewStdio(fs)
+	fs.CreateFile("/data/exists", 50)
+	runSim(t, func(th *sim.Thread) {
+		if _, err := stdio.Fopen(th, "/data/nope", "r"); !errors.Is(err, ErrNotExist) {
+			t.Fatalf("r on missing = %v", err)
+		}
+		st, err := stdio.Fopen(th, "/data/exists", "a")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got := stdio.Ftell(st); got != 50 {
+			t.Fatalf("append offset = %d", got)
+		}
+		stdio.Fwrite(th, st, []byte("xy"))
+		stdio.Fclose(th, st)
+		ino, _ := fs.Lookup("/data/exists")
+		if ino.Size != 52 {
+			t.Fatalf("size after append = %d", ino.Size)
+		}
+		// "w" truncates.
+		st, _ = stdio.Fopen(th, "/data/exists", "w")
+		stdio.Fclose(th, st)
+		ino, _ = fs.Lookup("/data/exists")
+		if ino.Size != 0 {
+			t.Fatalf("size after w = %d", ino.Size)
+		}
+		if _, err := stdio.Fopen(th, "/data/exists", "?"); !errors.Is(err, ErrInvalid) {
+			t.Fatalf("bad mode = %v", err)
+		}
+	})
+}
+
+func TestFseekFlushesAndRepositions(t *testing.T) {
+	fs, _, _, _, _ := testFS()
+	stdio := NewStdio(fs)
+	runSim(t, func(th *sim.Thread) {
+		st, _ := stdio.Fopen(th, "/data/seek", "w+")
+		stdio.Fwrite(th, st, []byte("0123456789"))
+		if err := stdio.Fseek(th, st, 2, SeekSet); err != nil {
+			t.Fatal(err)
+		}
+		buf := make([]byte, 3)
+		if n, _ := stdio.Fread(th, st, buf); n != 3 || string(buf) != "234" {
+			t.Fatalf("read after seek = %q", buf)
+		}
+		stdio.Fclose(th, st)
+	})
+}
+
+func TestStreamFlushCountTracksBufferFills(t *testing.T) {
+	fs, _, _, _, _ := testFS()
+	stdio := NewStdio(fs)
+	runSim(t, func(th *sim.Thread) {
+		st, _ := stdio.Fopen(th, "/data/fills", "w")
+		chunk := make([]byte, StdioBufSize/2)
+		for i := 0; i < 6; i++ { // 3 buffer fills
+			stdio.Fwrite(th, st, chunk)
+		}
+		stdio.Fclose(th, st)
+		if st.Flushes != 3 {
+			t.Fatalf("flushes = %d, want 3", st.Flushes)
+		}
+	})
+}
+
+func TestClosedStreamOperationsFail(t *testing.T) {
+	fs, _, _, _, _ := testFS()
+	stdio := NewStdio(fs)
+	runSim(t, func(th *sim.Thread) {
+		st, _ := stdio.Fopen(th, "/data/c", "w")
+		stdio.Fclose(th, st)
+		if _, err := stdio.Fwrite(th, st, []byte("x")); !errors.Is(err, ErrBadFD) {
+			t.Fatalf("fwrite on closed = %v", err)
+		}
+		if err := stdio.Fclose(th, st); !errors.Is(err, ErrBadFD) {
+			t.Fatalf("double fclose = %v", err)
+		}
+	})
+}
+
+func TestStdioWritesLandOnCorrectDevice(t *testing.T) {
+	fs, _, _, _, opt := testFS()
+	stdio := NewStdio(fs)
+	runSim(t, func(th *sim.Thread) {
+		st, _ := stdio.Fopen(th, "/fast/f", "w")
+		stdio.Fwrite(th, st, make([]byte, 2*StdioBufSize))
+		stdio.Fclose(th, st)
+	})
+	if opt.Counters().BytesWritten != 2*int64(StdioBufSize) {
+		t.Fatalf("optane bytes written = %d", opt.Counters().BytesWritten)
+	}
+	_ = storage.KiB
+}

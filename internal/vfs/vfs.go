@@ -1,0 +1,314 @@
+// Package vfs implements a POSIX-like virtual file system over simulated
+// storage devices. It provides the syscall surface that the TensorFlow-like
+// runtime calls through the simulated dynamic linker's GOT (and that
+// tf-Darshan redirects to Darshan wrappers), plus a libc-style STDIO layer
+// with user-space buffering.
+//
+// Caching model: the paper drops the page cache before every benchmark and
+// runs a single epoch, so every file is cold exactly once. The VFS mirrors
+// that: the first open (or stat) of a file charges cold metadata I/O to the
+// device; afterwards metadata is cached in memory. Data reads always hit
+// the device (each file's data is read once per epoch).
+package vfs
+
+import (
+	"errors"
+	"fmt"
+	"path"
+	"sort"
+
+	"repro/internal/sim"
+	"repro/internal/storage"
+)
+
+// Errors returned by VFS operations, mirroring their errno counterparts.
+var (
+	ErrNotExist = errors.New("vfs: no such file or directory") // ENOENT
+	ErrExist    = errors.New("vfs: file exists")               // EEXIST
+	ErrBadFD    = errors.New("vfs: bad file descriptor")       // EBADF
+	ErrReadOnly = errors.New("vfs: file not open for writing") // EBADF on write
+	ErrWriteOny = errors.New("vfs: file not open for reading") // EBADF on read
+	ErrNoMount  = errors.New("vfs: no mount for path")
+	ErrInvalid  = errors.New("vfs: invalid argument") // EINVAL
+)
+
+// Open flags (subset of fcntl.h).
+const (
+	O_RDONLY = 0x0
+	O_WRONLY = 0x1
+	O_RDWR   = 0x2
+	O_CREAT  = 0x40
+	O_TRUNC  = 0x200
+	O_APPEND = 0x400
+)
+
+// Whence values for Lseek.
+const (
+	SeekSet = 0
+	SeekCur = 1
+	SeekEnd = 2
+)
+
+// Config tunes FS-wide costs.
+type Config struct {
+	// SyscallCPU is the fixed CPU cost charged per syscall entry
+	// (trap + vfs path, excluding device time).
+	SyscallCPU sim.Duration
+}
+
+// DefaultConfig returns typical Linux syscall entry costs.
+func DefaultConfig() Config {
+	return Config{SyscallCPU: sim.FromMicros(1.2)}
+}
+
+// FS is a virtual file system with one or more mounted devices.
+type FS struct {
+	cfg     Config
+	mounts  []*Mount
+	inodes  map[string]*Inode
+	dirs    map[string]*dirState
+	fds     map[int]*openFile
+	nextFD  int
+	nextIno int64
+}
+
+// Mount binds a path prefix to a device with its metadata-cost policy.
+type Mount struct {
+	Prefix string
+	Dev    storage.Device
+	// OpenMetaTrips is the average number of cold device metadata reads
+	// charged per first open of a file (fractional values amortize, e.g.
+	// 1/16 models 16 inodes per cached inode-table block).
+	OpenMetaTrips float64
+	// DirMetaTrips is charged once per directory on first lookup.
+	DirMetaTrips float64
+
+	cursor  int64 // allocation cursor (device position)
+	metaAcc float64
+	dirAcc  float64
+}
+
+type dirState struct {
+	warm bool
+}
+
+// Inode is an in-memory file record.
+type Inode struct {
+	Path   string
+	Ino    int64
+	Size   int64
+	Extent int64 // device position of the file's data
+	Mnt    *Mount
+
+	warm    bool   // metadata cached (first open/stat done)
+	alloc   bool   // extent assigned
+	content []byte // stored content for small written files
+	seed    int64  // procedural content seed
+}
+
+type openFile struct {
+	inode  *Inode
+	flags  int
+	offset int64
+	closed bool
+}
+
+// New returns an empty file system.
+func New(cfg Config) *FS {
+	return &FS{
+		cfg:    cfg,
+		inodes: make(map[string]*Inode),
+		dirs:   make(map[string]*dirState),
+		fds:    make(map[int]*openFile),
+		nextFD: 3, // 0..2 reserved, as on Unix
+	}
+}
+
+// AddMount mounts dev under prefix. Longest-prefix match wins on lookup.
+func (fs *FS) AddMount(m *Mount) *Mount {
+	if m.Dev == nil || m.Prefix == "" {
+		panic("vfs: invalid mount")
+	}
+	m.Prefix = path.Clean(m.Prefix)
+	fs.mounts = append(fs.mounts, m)
+	sort.Slice(fs.mounts, func(i, j int) bool {
+		return len(fs.mounts[i].Prefix) > len(fs.mounts[j].Prefix)
+	})
+	return m
+}
+
+// MountFor returns the mount owning p.
+func (fs *FS) MountFor(p string) (*Mount, error) {
+	p = path.Clean(p)
+	for _, m := range fs.mounts {
+		if p == m.Prefix || (len(p) > len(m.Prefix) && p[:len(m.Prefix)] == m.Prefix && p[len(m.Prefix)] == '/') {
+			return m, nil
+		}
+	}
+	return nil, fmt.Errorf("%w: %s", ErrNoMount, p)
+}
+
+// CreateFile populates the namespace with a file of the given size at
+// simulation-setup time (no virtual time passes). The extent is allocated
+// contiguously in creation order, matching a dataset copied onto a fresh
+// file system.
+func (fs *FS) CreateFile(p string, size int64) (*Inode, error) {
+	p = path.Clean(p)
+	if _, ok := fs.inodes[p]; ok {
+		return nil, fmt.Errorf("%w: %s", ErrExist, p)
+	}
+	m, err := fs.MountFor(p)
+	if err != nil {
+		return nil, err
+	}
+	ino := fs.newInode(p, m)
+	ino.Size = size
+	fs.allocExtent(ino, size)
+	return ino, nil
+}
+
+func (fs *FS) newInode(p string, m *Mount) *Inode {
+	fs.nextIno++
+	ino := &Inode{
+		Path: p,
+		Ino:  fs.nextIno,
+		Mnt:  m,
+		seed: fs.nextIno * int64(0x9E3779B97F4A7C15&0x7FFFFFFFFFFFFFFF),
+	}
+	fs.inodes[p] = ino
+	dir := path.Dir(p)
+	if _, ok := fs.dirs[dir]; !ok {
+		fs.dirs[dir] = &dirState{}
+	}
+	return ino
+}
+
+// allocExtent assigns a contiguous device extent to ino.
+func (fs *FS) allocExtent(ino *Inode, size int64) {
+	if size < 0 {
+		size = 0
+	}
+	ino.Extent = ino.Mnt.cursor
+	ino.Mnt.cursor += size
+	if ino.Mnt.cursor > ino.Mnt.Dev.Capacity() {
+		panic(fmt.Sprintf("vfs: device %s full", ino.Mnt.Dev.Name()))
+	}
+	ino.alloc = true
+}
+
+// SetContent stores explicit content for a file (test fixtures, small
+// configuration files). The file's size becomes len(data).
+func (fs *FS) SetContent(p string, data []byte) error {
+	ino, ok := fs.inodes[path.Clean(p)]
+	if !ok {
+		return fmt.Errorf("%w: %s", ErrNotExist, p)
+	}
+	ino.content = append([]byte(nil), data...)
+	grow := int64(len(data)) - ino.Size
+	ino.Size = int64(len(data))
+	if grow > 0 {
+		ino.Mnt.cursor += grow
+	}
+	return nil
+}
+
+// Lookup returns the inode for p without charging any simulated I/O.
+func (fs *FS) Lookup(p string) (*Inode, bool) {
+	ino, ok := fs.inodes[path.Clean(p)]
+	return ino, ok
+}
+
+// Files returns all file paths in deterministic (sorted) order.
+func (fs *FS) Files() []string {
+	out := make([]string, 0, len(fs.inodes))
+	for p := range fs.inodes {
+		out = append(out, p)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// TotalBytes returns the sum of all file sizes under prefix ("" = all).
+func (fs *FS) TotalBytes(prefix string) int64 {
+	var total int64
+	for p, ino := range fs.inodes {
+		if prefix == "" || hasPathPrefix(p, prefix) {
+			total += ino.Size
+		}
+	}
+	return total
+}
+
+func hasPathPrefix(p, prefix string) bool {
+	prefix = path.Clean(prefix)
+	p = path.Clean(p)
+	return p == prefix || (len(p) > len(prefix) && p[:len(prefix)] == prefix && p[len(prefix)] == '/')
+}
+
+// Migrate moves a file's data to another mount (the staging operation of
+// paper Fig. 11b). Performed at setup time between runs — no simulated time
+// passes, matching the paper's manual pre-run `mv` to the Optane tier.
+// The path is preserved; only the backing extent moves.
+func (fs *FS) Migrate(p string, dst *Mount) error {
+	ino, ok := fs.inodes[path.Clean(p)]
+	if !ok {
+		return fmt.Errorf("%w: %s", ErrNotExist, p)
+	}
+	if ino.Mnt == dst {
+		return nil
+	}
+	ino.Mnt = dst
+	ino.Extent = dst.cursor
+	dst.cursor += ino.Size
+	ino.warm = false // fresh tier: metadata cold again
+	return nil
+}
+
+// fillContent fills buf with the file's bytes at off: stored content when
+// present, otherwise deterministic procedural bytes so content round-trips
+// are checkable without materializing multi-GB datasets.
+func (ino *Inode) fillContent(buf []byte, off int64) {
+	if ino.content != nil {
+		n := copy(buf, ino.content[off:])
+		for i := n; i < len(buf); i++ {
+			buf[i] = 0
+		}
+		return
+	}
+	for i := range buf {
+		x := ino.seed + (off+int64(i))*1103515245
+		buf[i] = byte(x >> 16)
+	}
+}
+
+// ContentByte returns the procedural content byte at offset (for tests).
+func (ino *Inode) ContentByte(off int64) byte {
+	var b [1]byte
+	ino.fillContent(b[:], off)
+	return b[0]
+}
+
+// chargeColdOpen charges cold metadata I/O for first-touch of dir and inode.
+func (fs *FS) chargeColdOpen(t *sim.Thread, ino *Inode) {
+	m := ino.Mnt
+	dir := path.Dir(ino.Path)
+	ds := fs.dirs[dir]
+	if ds != nil && !ds.warm {
+		ds.warm = true
+		m.dirAcc += m.DirMetaTrips
+		for m.dirAcc >= 1 {
+			m.Dev.Metadata(t, ino.Extent)
+			m.dirAcc--
+		}
+	}
+	if !ino.warm {
+		ino.warm = true
+		m.metaAcc += m.OpenMetaTrips
+		for m.metaAcc >= 1 {
+			// ext4 places inode tables in the file's block group, so the
+			// lookup lands near (but not at) the data extent.
+			m.Dev.Metadata(t, ino.Extent-64*storage.KiB)
+			m.metaAcc--
+		}
+	}
+}

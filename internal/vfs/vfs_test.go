@@ -1,0 +1,378 @@
+package vfs
+
+import (
+	"errors"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/sim"
+	"repro/internal/storage"
+)
+
+// testFS builds an FS with one HDD mount at /data and one Optane mount at
+// /fast.
+func testFS() (*FS, *Mount, *Mount, *storage.HDD, *storage.Flash) {
+	fs := New(DefaultConfig())
+	hdd := storage.NewHDD("sda", storage.DefaultHDDParams())
+	opt := storage.NewFlash("nvme0n1", storage.DefaultOptaneParams())
+	mData := fs.AddMount(&Mount{Prefix: "/data", Dev: hdd, OpenMetaTrips: 1, DirMetaTrips: 1})
+	mFast := fs.AddMount(&Mount{Prefix: "/fast", Dev: opt, OpenMetaTrips: 1, DirMetaTrips: 1})
+	return fs, mData, mFast, hdd, opt
+}
+
+func runSim(t *testing.T, fn func(th *sim.Thread)) int64 {
+	t.Helper()
+	k := sim.NewKernel()
+	k.Spawn("t", fn)
+	if err := k.Run(); err != nil {
+		t.Fatal(err)
+	}
+	return k.Now()
+}
+
+func TestOpenReadCloseRoundTrip(t *testing.T) {
+	fs, _, _, hdd, _ := testFS()
+	if _, err := fs.CreateFile("/data/a.bin", 1000); err != nil {
+		t.Fatal(err)
+	}
+	runSim(t, func(th *sim.Thread) {
+		fd, err := fs.Open(th, "/data/a.bin", O_RDONLY)
+		if err != nil {
+			t.Fatal(err)
+		}
+		buf := make([]byte, 400)
+		n, err := fs.Read(th, fd, buf)
+		if err != nil || n != 400 {
+			t.Fatalf("Read = %d, %v", n, err)
+		}
+		n, err = fs.Read(th, fd, buf)
+		if err != nil || n != 400 {
+			t.Fatalf("Read2 = %d, %v", n, err)
+		}
+		n, err = fs.Read(th, fd, buf)
+		if err != nil || n != 200 {
+			t.Fatalf("Read3 = %d, %v (partial at EOF)", n, err)
+		}
+		n, err = fs.Read(th, fd, buf)
+		if err != nil || n != 0 {
+			t.Fatalf("Read4 = %d, %v (EOF)", n, err)
+		}
+		if err := fs.Close(th, fd); err != nil {
+			t.Fatal(err)
+		}
+	})
+	c := hdd.Counters()
+	if c.ReadOps != 3 { // EOF read touches no device
+		t.Fatalf("device reads = %d, want 3", c.ReadOps)
+	}
+	if c.BytesRead != 1000+8*storage.KiB { // data + cold dir block + cold inode block
+		t.Fatalf("bytes read = %d", c.BytesRead)
+	}
+	if fs.OpenFDs() != 0 {
+		t.Fatalf("leaked %d fds", fs.OpenFDs())
+	}
+}
+
+func TestPreadAtEOFReturnsZeroWithoutDeviceAccess(t *testing.T) {
+	fs, _, _, hdd, _ := testFS()
+	fs.CreateFile("/data/f", 100)
+	runSim(t, func(th *sim.Thread) {
+		fd, _ := fs.Open(th, "/data/f", O_RDONLY)
+		buf := make([]byte, 64)
+		before := hdd.Counters().ReadOps
+		n, err := fs.Pread(th, fd, buf, 100)
+		if n != 0 || err != nil {
+			t.Fatalf("Pread at EOF = %d, %v", n, err)
+		}
+		if hdd.Counters().ReadOps != before {
+			t.Fatal("EOF pread touched the device")
+		}
+		fs.Close(th, fd)
+	})
+}
+
+func TestColdMetadataChargedOncePerFile(t *testing.T) {
+	fs, _, _, hdd, _ := testFS()
+	fs.CreateFile("/data/a", 10)
+	runSim(t, func(th *sim.Thread) {
+		fd, _ := fs.Open(th, "/data/a", O_RDONLY)
+		fs.Close(th, fd)
+		after1 := hdd.Counters().MetaOps
+		fd, _ = fs.Open(th, "/data/a", O_RDONLY)
+		fs.Close(th, fd)
+		if hdd.Counters().MetaOps != after1 {
+			t.Fatal("second open charged metadata again")
+		}
+	})
+	// dir block + inode block
+	if got := hdd.Counters().MetaOps; got != 2 {
+		t.Fatalf("meta ops = %d, want 2", got)
+	}
+}
+
+func TestFractionalMetaTripsAmortize(t *testing.T) {
+	fs := New(DefaultConfig())
+	hdd := storage.NewHDD("sda", storage.DefaultHDDParams())
+	fs.AddMount(&Mount{Prefix: "/d", Dev: hdd, OpenMetaTrips: 0.25, DirMetaTrips: 0})
+	for i := 0; i < 16; i++ {
+		fs.CreateFile("/d/f"+string(rune('a'+i)), 10)
+	}
+	runSim(t, func(th *sim.Thread) {
+		for i := 0; i < 16; i++ {
+			fd, err := fs.Open(th, "/d/f"+string(rune('a'+i)), O_RDONLY)
+			if err != nil {
+				t.Fatal(err)
+			}
+			fs.Close(th, fd)
+		}
+	})
+	if got := hdd.Counters().MetaOps; got != 4 { // 16 * 0.25
+		t.Fatalf("meta ops = %d, want 4", got)
+	}
+}
+
+func TestWriteReadBackContent(t *testing.T) {
+	fs, _, _, _, _ := testFS()
+	runSim(t, func(th *sim.Thread) {
+		fd, err := fs.Open(th, "/data/out.bin", O_WRONLY|O_CREAT)
+		if err != nil {
+			t.Fatal(err)
+		}
+		msg := []byte("hello darshan")
+		if n, err := fs.Write(th, fd, msg); n != len(msg) || err != nil {
+			t.Fatalf("Write = %d, %v", n, err)
+		}
+		fs.Close(th, fd)
+
+		fd, _ = fs.Open(th, "/data/out.bin", O_RDONLY)
+		buf := make([]byte, len(msg))
+		if n, _ := fs.Read(th, fd, buf); n != len(msg) {
+			t.Fatalf("read back %d bytes", n)
+		}
+		if string(buf) != string(msg) {
+			t.Fatalf("content mismatch: %q", buf)
+		}
+		fs.Close(th, fd)
+	})
+}
+
+func TestProceduralContentDeterministic(t *testing.T) {
+	fs, _, _, _, _ := testFS()
+	fs.CreateFile("/data/big", 1<<20)
+	var first, second []byte
+	read := func() []byte {
+		var out []byte
+		runSim(t, func(th *sim.Thread) {
+			fd, _ := fs.Open(th, "/data/big", O_RDONLY)
+			buf := make([]byte, 512)
+			fs.Pread(th, fd, buf, 777)
+			out = append([]byte(nil), buf...)
+			fs.Close(th, fd)
+		})
+		return out
+	}
+	first = read()
+	second = read()
+	for i := range first {
+		if first[i] != second[i] {
+			t.Fatal("procedural content not deterministic")
+		}
+	}
+}
+
+func TestLseekWhence(t *testing.T) {
+	fs, _, _, _, _ := testFS()
+	fs.CreateFile("/data/f", 1000)
+	runSim(t, func(th *sim.Thread) {
+		fd, _ := fs.Open(th, "/data/f", O_RDONLY)
+		if off, _ := fs.Lseek(th, fd, 100, SeekSet); off != 100 {
+			t.Fatalf("SeekSet = %d", off)
+		}
+		if off, _ := fs.Lseek(th, fd, 50, SeekCur); off != 150 {
+			t.Fatalf("SeekCur = %d", off)
+		}
+		if off, _ := fs.Lseek(th, fd, -10, SeekEnd); off != 990 {
+			t.Fatalf("SeekEnd = %d", off)
+		}
+		if _, err := fs.Lseek(th, fd, -5000, SeekCur); !errors.Is(err, ErrInvalid) {
+			t.Fatalf("negative seek err = %v", err)
+		}
+		fs.Close(th, fd)
+	})
+}
+
+func TestOpenErrors(t *testing.T) {
+	fs, _, _, _, _ := testFS()
+	runSim(t, func(th *sim.Thread) {
+		if _, err := fs.Open(th, "/data/missing", O_RDONLY); !errors.Is(err, ErrNotExist) {
+			t.Fatalf("err = %v", err)
+		}
+		if _, err := fs.Open(th, "/nomount/x", O_CREAT|O_WRONLY); !errors.Is(err, ErrNoMount) {
+			t.Fatalf("err = %v", err)
+		}
+		if err := fs.Close(th, 999); !errors.Is(err, ErrBadFD) {
+			t.Fatalf("err = %v", err)
+		}
+		fs.CreateFile("/data/ro", 10)
+		fd, _ := fs.Open(th, "/data/ro", O_RDONLY)
+		if _, err := fs.Write(th, fd, []byte("x")); !errors.Is(err, ErrReadOnly) {
+			t.Fatalf("write to O_RDONLY err = %v", err)
+		}
+		fs.Close(th, fd)
+		fd, _ = fs.Open(th, "/data/ro", O_WRONLY)
+		if _, err := fs.Read(th, fd, make([]byte, 4)); !errors.Is(err, ErrWriteOny) {
+			t.Fatalf("read from O_WRONLY err = %v", err)
+		}
+		fs.Close(th, fd)
+	})
+}
+
+func TestMigrateMovesDataToFastTier(t *testing.T) {
+	fs, _, mFast, hdd, opt := testFS()
+	fs.CreateFile("/data/small.bin", 500*storage.KiB)
+	if err := fs.Migrate("/data/small.bin", mFast); err != nil {
+		t.Fatal(err)
+	}
+	runSim(t, func(th *sim.Thread) {
+		fd, err := fs.Open(th, "/data/small.bin", O_RDONLY)
+		if err != nil {
+			t.Fatal(err)
+		}
+		buf := make([]byte, 500*storage.KiB)
+		fs.Read(th, fd, buf)
+		fs.Close(th, fd)
+	})
+	if hdd.Counters().ReadOps != 0 {
+		t.Fatal("migrated file still read from HDD")
+	}
+	if opt.Counters().BytesRead < 500*storage.KiB {
+		t.Fatalf("optane bytes read = %d", opt.Counters().BytesRead)
+	}
+}
+
+func TestStatAndFstat(t *testing.T) {
+	fs, _, _, _, _ := testFS()
+	fs.CreateFile("/data/s", 12345)
+	runSim(t, func(th *sim.Thread) {
+		fi, err := fs.Stat(th, "/data/s")
+		if err != nil || fi.Size != 12345 {
+			t.Fatalf("Stat = %+v, %v", fi, err)
+		}
+		fd, _ := fs.Open(th, "/data/s", O_RDONLY)
+		fi, err = fs.Fstat(th, fd)
+		if err != nil || fi.Size != 12345 {
+			t.Fatalf("Fstat = %+v, %v", fi, err)
+		}
+		fs.Close(th, fd)
+	})
+}
+
+func TestTotalBytesAndFiles(t *testing.T) {
+	fs, _, _, _, _ := testFS()
+	fs.CreateFile("/data/a", 100)
+	fs.CreateFile("/data/b", 200)
+	fs.CreateFile("/fast/c", 400)
+	if got := fs.TotalBytes("/data"); got != 300 {
+		t.Fatalf("TotalBytes(/data) = %d", got)
+	}
+	if got := fs.TotalBytes(""); got != 700 {
+		t.Fatalf("TotalBytes() = %d", got)
+	}
+	files := fs.Files()
+	if len(files) != 3 || files[0] != "/data/a" {
+		t.Fatalf("Files = %v", files)
+	}
+}
+
+func TestCreateDuplicateFails(t *testing.T) {
+	fs, _, _, _, _ := testFS()
+	fs.CreateFile("/data/dup", 1)
+	if _, err := fs.CreateFile("/data/dup", 1); !errors.Is(err, ErrExist) {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestExtentsContiguousInCreationOrder(t *testing.T) {
+	fs, _, _, _, _ := testFS()
+	a, _ := fs.CreateFile("/data/a", 1000)
+	b, _ := fs.CreateFile("/data/b", 2000)
+	c, _ := fs.CreateFile("/data/c", 3000)
+	if a.Extent != 0 || b.Extent != 1000 || c.Extent != 3000 {
+		t.Fatalf("extents = %d %d %d", a.Extent, b.Extent, c.Extent)
+	}
+}
+
+// Property: for any small write pattern, reading the file back returns the
+// written bytes (content round trip through stored content).
+func TestPropertyWriteReadRoundTrip(t *testing.T) {
+	f := func(data []byte) bool {
+		if len(data) == 0 || len(data) > 64*1024 {
+			return true
+		}
+		fs, _, _, _, _ := testFS()
+		ok := true
+		k := sim.NewKernel()
+		k.Spawn("t", func(th *sim.Thread) {
+			fd, err := fs.Open(th, "/data/rt", O_CREAT|O_WRONLY)
+			if err != nil {
+				ok = false
+				return
+			}
+			fs.Write(th, fd, data)
+			fs.Close(th, fd)
+			fd, _ = fs.Open(th, "/data/rt", O_RDONLY)
+			buf := make([]byte, len(data))
+			n, _ := fs.Read(th, fd, buf)
+			if n != len(data) {
+				ok = false
+			}
+			for i := range data {
+				if buf[i] != data[i] {
+					ok = false
+				}
+			}
+			fs.Close(th, fd)
+		})
+		if err := k.Run(); err != nil {
+			return false
+		}
+		return ok
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: Pread never returns more bytes than remain before EOF, and the
+// sum of a chunked scan equals the file size.
+func TestPropertyChunkedScanCoversFile(t *testing.T) {
+	f := func(size uint32, chunk uint16) bool {
+		sz := int64(size%2_000_000) + 1
+		ck := int64(chunk)%65536 + 1
+		fs, _, _, _, _ := testFS()
+		fs.CreateFile("/data/scan", sz)
+		var total int64
+		k := sim.NewKernel()
+		k.Spawn("t", func(th *sim.Thread) {
+			fd, _ := fs.Open(th, "/data/scan", O_RDONLY)
+			buf := make([]byte, ck)
+			off := int64(0)
+			for {
+				n, err := fs.Pread(th, fd, buf, off)
+				if err != nil || n == 0 {
+					break
+				}
+				total += int64(n)
+				off += int64(n)
+			}
+			fs.Close(th, fd)
+		})
+		if err := k.Run(); err != nil {
+			return false
+		}
+		return total == sz
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Fatal(err)
+	}
+}

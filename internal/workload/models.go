@@ -1,0 +1,106 @@
+package workload
+
+import (
+	"repro/internal/sim"
+	"repro/internal/tf"
+	"repro/internal/tf/keras"
+	"repro/internal/tf/tfdata"
+	"repro/internal/tf/tfio"
+)
+
+// AlexNet returns the image-classification model of the paper's first
+// case study: ~61M parameters (~233MB of float32 variables) trained with
+// SGD and categorical cross-entropy. The step-time model is calibrated for
+// two V100s in data parallelism at batch 256.
+func AlexNet() *keras.Model {
+	vars := []tfio.Variable{
+		{Name: "conv1/kernel", Bytes: 140 * 1024}, {Name: "conv1/bias", Bytes: 1 * 1024},
+		{Name: "conv2/kernel", Bytes: 1228 * 1024}, {Name: "conv2/bias", Bytes: 1 * 1024},
+		{Name: "conv3/kernel", Bytes: 3398 * 1024}, {Name: "conv3/bias", Bytes: 2 * 1024},
+		{Name: "conv4/kernel", Bytes: 2654 * 1024}, {Name: "conv4/bias", Bytes: 2 * 1024},
+		{Name: "conv5/kernel", Bytes: 1769 * 1024}, {Name: "conv5/bias", Bytes: 1 * 1024},
+		{Name: "fc6/kernel", Bytes: 151 << 20}, {Name: "fc6/bias", Bytes: 16 * 1024},
+		{Name: "fc7/kernel", Bytes: 64 << 20}, {Name: "fc7/bias", Bytes: 16 * 1024},
+		{Name: "fc8/kernel", Bytes: 16 << 20}, {Name: "fc8/bias", Bytes: 4 * 1024},
+	}
+	return &keras.Model{
+		Name:      "alexnet",
+		Vars:      vars,
+		Optimizer: keras.SGD(),
+		Loss:      "categorical_crossentropy",
+		// ~120ms for a 256 batch on 2xV100 including the periodic weight
+		// sync; scales linearly with batch size.
+		StepTime: func(batch int) sim.Duration {
+			return sim.Duration(float64(batch) / 256.0 * float64(120*sim.Millisecond))
+		},
+	}
+}
+
+// MalwareCNN returns the second case study's model: a shallow two-layer
+// CNN over byte-code-as-grayscale-image inputs. Device compute is
+// negligible next to I/O ("the GPU device compute time is negligible,
+// meaning that the training is purely I/O-bound").
+func MalwareCNN() *keras.Model {
+	vars := []tfio.Variable{
+		{Name: "conv1/kernel", Bytes: 64 * 1024}, {Name: "conv1/bias", Bytes: 1 * 1024},
+		{Name: "conv2/kernel", Bytes: 512 * 1024}, {Name: "conv2/bias", Bytes: 1 * 1024},
+		{Name: "dense1/kernel", Bytes: 4 << 20}, {Name: "dense1/bias", Bytes: 4 * 1024},
+		{Name: "dense2/kernel", Bytes: 36 * 1024}, {Name: "dense2/bias", Bytes: 1 * 1024},
+	}
+	return &keras.Model{
+		Name:      "malware_cnn",
+		Vars:      vars,
+		Optimizer: keras.SGD(),
+		Loss:      "categorical_crossentropy",
+		StepTime: func(batch int) sim.Duration {
+			return sim.Duration(float64(batch) / 32.0 * float64(4*sim.Millisecond))
+		},
+	}
+}
+
+// Preprocessing cost models (bytes/s of one CPU core).
+const (
+	// JPEGDecodeRate covers decode + resize + normalization of JPEG
+	// images in the ImageNet pipeline.
+	JPEGDecodeRate = 40e6
+	// ByteDecodeRate covers reshaping raw byte code into grayscale image
+	// tensors in the malware pipeline.
+	ByteDecodeRate = 800e6
+)
+
+// ImageNetMap is the ImageNet capture function: tf.io.read_file, then
+// decode/resize/batch preprocessing on the CPU.
+func ImageNetMap(t *sim.Thread, env *tf.Env, path string) (tfdata.Sample, error) {
+	n, err := tfio.ReadFile(t, env, path)
+	if err != nil {
+		return tfdata.Sample{}, err
+	}
+	tm := env.Trace(t, "DecodeJpeg")
+	env.CPU.Compute(t, sim.Duration(float64(n)/JPEGDecodeRate*1e9))
+	tm.End(t)
+	return tfdata.Sample{Path: path, Bytes: n}, nil
+}
+
+// MalwareMap is the malware capture function: read byte code, decode it as
+// a grayscale image.
+func MalwareMap(t *sim.Thread, env *tf.Env, path string) (tfdata.Sample, error) {
+	n, err := tfio.ReadFile(t, env, path)
+	if err != nil {
+		return tfdata.Sample{}, err
+	}
+	tm := env.Trace(t, "DecodeRaw")
+	env.CPU.Compute(t, sim.Duration(float64(n)/ByteDecodeRate*1e9))
+	tm.End(t)
+	return tfdata.Sample{Path: path, Bytes: n}, nil
+}
+
+// StreamMap is the STREAM capture function: I/O and batching only, no
+// preprocessing and no compute — the paper's bandwidth-validation
+// workload.
+func StreamMap(t *sim.Thread, env *tf.Env, path string) (tfdata.Sample, error) {
+	n, err := tfio.ReadFile(t, env, path)
+	if err != nil {
+		return tfdata.Sample{}, err
+	}
+	return tfdata.Sample{Path: path, Bytes: n}, nil
+}
