@@ -30,11 +30,12 @@ func main() {
 	fs := flag.NewFlagSet(cmd, flag.ExitOnError)
 	scale := fs.Float64("scale", 1.0, "dataset/step scale factor (1.0 = paper scale)")
 	seed := fs.Int64("seed", 0, "shuffle seed perturbation")
+	verify := fs.Bool("verify", false, "materialize and checksum all read content (slow; validates the zero-materialization fast path)")
 	outDir := fs.String("out", ".", "artifact output directory")
 	if err := fs.Parse(os.Args[2:]); err != nil {
 		os.Exit(2)
 	}
-	cfg := experiments.Config{Scale: *scale, Seed: *seed}
+	cfg := experiments.Config{Scale: *scale, Seed: *seed, VerifyContent: *verify}
 
 	switch cmd {
 	case "artifacts":
@@ -92,8 +93,8 @@ func main() {
 func usage() {
 	fmt.Fprintln(os.Stderr, `usage:
   tfdarshan list
-  tfdarshan run       [-scale f] [-seed n] <id>...|all
-  tfdarshan metrics   [-scale f] [-seed n] <id>...|all
+  tfdarshan run       [-scale f] [-seed n] [-verify] <id>...|all
+  tfdarshan metrics   [-scale f] [-seed n] [-verify] <id>...|all
   tfdarshan artifacts [-scale f] [-out dir] <imagenet|malware>`)
 }
 

@@ -468,3 +468,49 @@ func TestRecordIDStable(t *testing.T) {
 		t.Fatal("RecordID collision on different paths")
 	}
 }
+
+func TestDiscardWrappersRecordLikeMaterializingReads(t *testing.T) {
+	// Count-only reads through the patched GOT must produce the same
+	// POSIX/STDIO records as materializing reads of the same spans.
+	mat := newRig(DefaultConfig())
+	mat.fs.CreateFile("/data/f", 1000)
+	mat.run(t, func(th *sim.Thread) {
+		fd, _ := mat.c.Open(th, "/data/f", vfs.O_RDONLY)
+		buf := make([]byte, 600)
+		mat.c.Pread(th, fd, buf, 0)
+		mat.c.Pread(th, fd, buf, 600)
+		mat.c.Pread(th, fd, buf, 1000) // zero-length EOF probe
+		mat.c.Close(th, fd)
+		st, _ := mat.c.Fopen(th, "/data/f", "r")
+		mat.c.Fread(th, st, buf)
+		mat.c.Fclose(th, st)
+	})
+
+	disc := newRig(DefaultConfig())
+	disc.fs.CreateFile("/data/f", 1000)
+	disc.run(t, func(th *sim.Thread) {
+		fd, _ := disc.c.Open(th, "/data/f", vfs.O_RDONLY)
+		disc.c.PreadDiscard(th, fd, 600, 0)
+		disc.c.PreadDiscard(th, fd, 600, 600)
+		disc.c.PreadDiscard(th, fd, 600, 1000)
+		disc.c.Close(th, fd)
+		st, _ := disc.c.Fopen(th, "/data/f", "r")
+		disc.c.FreadDiscard(th, st, 600)
+		disc.c.Fclose(th, st)
+	})
+
+	pm, pd := mat.posixRec(t, "/data/f"), disc.posixRec(t, "/data/f")
+	if pm.Counters != pd.Counters {
+		t.Fatalf("POSIX counters diverged:\nmaterialized %v\ndiscard      %v", pm.Counters, pd.Counters)
+	}
+	sm, sd := mat.rt.Stdio.Records(), disc.rt.Stdio.Records()
+	if len(sm) != 1 || len(sd) != 1 {
+		t.Fatalf("stdio records = %d, %d", len(sm), len(sd))
+	}
+	if sm[0].Counters != sd[0].Counters {
+		t.Fatalf("STDIO counters diverged:\nmaterialized %v\ndiscard      %v", sm[0].Counters, sd[0].Counters)
+	}
+	if sd[0].Counters[STDIO_READS] != 1 || sd[0].Counters[STDIO_BYTES_READ] != 600 {
+		t.Fatalf("fread_discard not recorded: %v", sd[0].Counters)
+	}
+}

@@ -46,6 +46,8 @@ func (rt *Runtime) WrapperFor(symbol string, real any) (any, bool) {
 		return rt.Posix.wrapRead(real.(libc.ReadFunc)), true
 	case "pread":
 		return rt.Posix.wrapPread(real.(libc.PreadFunc)), true
+	case "pread_discard":
+		return rt.Posix.wrapPreadDiscard(real.(libc.PreadDiscardFunc)), true
 	case "write":
 		return rt.Posix.wrapWrite(real.(libc.WriteFunc)), true
 	case "pwrite":
@@ -62,6 +64,8 @@ func (rt *Runtime) WrapperFor(symbol string, real any) (any, bool) {
 		return rt.Stdio.wrapFopen(real.(libc.FopenFunc)), true
 	case "fread":
 		return rt.Stdio.wrapFread(real.(libc.FreadFunc)), true
+	case "fread_discard":
+		return rt.Stdio.wrapFreadDiscard(real.(libc.FreadDiscardFunc)), true
 	case "fwrite":
 		return rt.Stdio.wrapFwrite(real.(libc.FwriteFunc)), true
 	case "fseek":

@@ -274,6 +274,27 @@ func (m *PosixModule) wrapPread(real libc.PreadFunc) libc.PreadFunc {
 	}
 }
 
+// wrapPreadDiscard builds the instrumented count-only pread. The record
+// updates are byte-for-byte those of a materializing pread over the same
+// span — the zero-materialization fast path is invisible in the counters,
+// access histograms and DXT segments.
+func (m *PosixModule) wrapPreadDiscard(real libc.PreadDiscardFunc) libc.PreadDiscardFunc {
+	return func(t *sim.Thread, fd int, count int64, off int64) (int, error) {
+		start := m.rt.rel(t.Now())
+		n, err := real(t, fd, count, off)
+		end := m.rt.rel(t.Now())
+		m.rt.instrument(t, func() {
+			if err != nil || n < 0 {
+				return
+			}
+			if st, ok := m.fds[fd]; ok && st.rec != nil {
+				m.recordRead(t, st.rec, off, int64(n), start, end)
+			}
+		})
+		return n, err
+	}
+}
+
 func (m *PosixModule) wrapWrite(real libc.WriteFunc) libc.WriteFunc {
 	return func(t *sim.Thread, fd int, buf []byte) (int, error) {
 		start := m.rt.rel(t.Now())

@@ -98,6 +98,18 @@ func (m *StdioModule) wrapFopen(real libc.FopenFunc) libc.FopenFunc {
 	}
 }
 
+// recordFread applies fread semantics to the stream's record (shared by
+// the materializing and count-only wrappers).
+func (m *StdioModule) recordFread(st *vfs.Stream, n int64, start, end float64) {
+	if ss, ok := m.streams[st]; ok && ss.rec != nil {
+		rec := ss.rec
+		rec.Counters[STDIO_READS]++
+		rec.Counters[STDIO_BYTES_READ] += n
+		rec.Counters[STDIO_MAX_BYTE_READ] = maxI64(rec.Counters[STDIO_MAX_BYTE_READ], n)
+		rec.FCounters[STDIO_F_READ_TIME] += end - start
+	}
+}
+
 func (m *StdioModule) wrapFread(real libc.FreadFunc) libc.FreadFunc {
 	return func(t *sim.Thread, st *vfs.Stream, buf []byte) (int, error) {
 		start := m.rt.rel(t.Now())
@@ -107,13 +119,24 @@ func (m *StdioModule) wrapFread(real libc.FreadFunc) libc.FreadFunc {
 			if err != nil || n < 0 {
 				return
 			}
-			if ss, ok := m.streams[st]; ok && ss.rec != nil {
-				rec := ss.rec
-				rec.Counters[STDIO_READS]++
-				rec.Counters[STDIO_BYTES_READ] += int64(n)
-				rec.Counters[STDIO_MAX_BYTE_READ] = maxI64(rec.Counters[STDIO_MAX_BYTE_READ], int64(n))
-				rec.FCounters[STDIO_F_READ_TIME] += end - start
+			m.recordFread(st, int64(n), start, end)
+		})
+		return n, err
+	}
+}
+
+// wrapFreadDiscard builds the instrumented count-only fread; record
+// updates match a materializing fread of the same span exactly.
+func (m *StdioModule) wrapFreadDiscard(real libc.FreadDiscardFunc) libc.FreadDiscardFunc {
+	return func(t *sim.Thread, st *vfs.Stream, count int64) (int, error) {
+		start := m.rt.rel(t.Now())
+		n, err := real(t, st, count)
+		end := m.rt.rel(t.Now())
+		m.rt.instrument(t, func() {
+			if err != nil || n < 0 {
+				return
 			}
+			m.recordFread(st, int64(n), start, end)
 		})
 		return n, err
 	}

@@ -118,7 +118,7 @@ func runCaseStudy(artifact, label string, setup *trainSetup) (*CaseStudyResult, 
 // imagenetSetup builds the ImageNet case-study configuration on
 // Kebnekaise: batch 256, prefetch 10, one full epoch profiled.
 func imagenetSetup(c Config, threads int) (*trainSetup, error) {
-	m := platform.NewKebnekaise(platform.Options{})
+	m := c.boot(platform.NewKebnekaise(platform.Options{}))
 	h := registerTfDarshan(m)
 	d, err := workload.BuildImageNet(m.FS, workload.ImageNetSpec(platform.KebnekaiseLustre+"/imagenet", c.Scale))
 	if err != nil {

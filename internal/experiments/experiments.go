@@ -31,6 +31,12 @@ type Config struct {
 	Scale float64
 	// Seed perturbs the deterministic shuffles (0 = paper default).
 	Seed int64
+	// VerifyContent disables the zero-materialization read fast path:
+	// every read materializes its bytes and checksums them against the VFS
+	// content generator. Simulated results are identical either way — this
+	// mode exists to prove exactly that (see the equivalence test) — but
+	// runs are ~an order of magnitude slower in host time.
+	VerifyContent bool
 }
 
 // DefaultConfig runs at paper scale.
@@ -40,6 +46,13 @@ func DefaultConfig() Config { return Config{Scale: 1.0} }
 func TestConfig() Config { return Config{Scale: 0.02} }
 
 func (c Config) shuffleSeed() int64 { return 20200812 + c.Seed }
+
+// boot applies cross-cutting config to a freshly built machine; every
+// experiment that performs reads routes machine construction through it.
+func (c Config) boot(m *platform.Machine) *platform.Machine {
+	m.Env.VerifyContent = c.VerifyContent
+	return m
+}
 
 // steps scales a paper step count, keeping at least one step.
 func (c Config) steps(paper int) int {

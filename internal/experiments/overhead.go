@@ -84,7 +84,7 @@ type overheadWorkload struct {
 func overheadWorkloads(c Config) []overheadWorkload {
 	return []overheadWorkload{
 		{"ImageNet", func(c Config, mode profMode) (*trainSetup, error) {
-			m := platform.NewKebnekaise(platform.Options{})
+			m := c.boot(platform.NewKebnekaise(platform.Options{}))
 			setupMode(m, mode)
 			d, err := workload.BuildImageNet(m.FS, workload.ImageNetSpec(platform.KebnekaiseLustre+"/imagenet", c.Scale))
 			if err != nil {
@@ -98,7 +98,7 @@ func overheadWorkloads(c Config) []overheadWorkload {
 			}, nil
 		}},
 		{"Malware", func(c Config, mode profMode) (*trainSetup, error) {
-			m := platform.NewGreendog(platform.Options{})
+			m := c.boot(platform.NewGreendog(platform.Options{}))
 			setupMode(m, mode)
 			d, err := workload.BuildMalware(m.FS, workload.MalwareSpec(platform.GreendogHDDPath+"/malware", c.Scale))
 			if err != nil {
@@ -112,7 +112,7 @@ func overheadWorkloads(c Config) []overheadWorkload {
 			}, nil
 		}},
 		{"STREAM(ImageNet)", func(c Config, mode profMode) (*trainSetup, error) {
-			m := platform.NewGreendog(platform.Options{})
+			m := c.boot(platform.NewGreendog(platform.Options{}))
 			setupMode(m, mode)
 			d, err := workload.BuildStreamImageNet(m.FS, workload.StreamImageNetSpec(platform.GreendogHDDPath+"/stream-in", c.Scale))
 			if err != nil {
@@ -129,7 +129,7 @@ func overheadWorkloads(c Config) []overheadWorkload {
 			return ts, nil
 		}},
 		{"STREAM(Malware)", func(c Config, mode profMode) (*trainSetup, error) {
-			m := platform.NewGreendog(platform.Options{})
+			m := c.boot(platform.NewGreendog(platform.Options{}))
 			setupMode(m, mode)
 			d, err := workload.BuildStreamMalware(m.FS, workload.StreamMalwareSpec(platform.GreendogHDDPath+"/stream-mw", c.Scale))
 			if err != nil {
@@ -246,7 +246,7 @@ func (r *CheckpointResult) Metrics() map[string]float64 {
 // checkpoint after every step, all checkpoints kept; Darshan's STDIO
 // module captures the ~1,400 fwrite calls (paper Fig. 6).
 func Fig6(c Config) (*CheckpointResult, error) {
-	m := platform.NewKebnekaise(platform.Options{})
+	m := c.boot(platform.NewKebnekaise(platform.Options{}))
 	h := registerTfDarshan(m)
 	d, err := workload.BuildImageNet(m.FS, workload.ImageNetSpec(platform.KebnekaiseLustre+"/imagenet", c.Scale))
 	if err != nil {

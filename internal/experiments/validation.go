@@ -61,7 +61,7 @@ func (r *ValidationResult) Metrics() map[string]float64 {
 // runValidation executes a STREAM run with manual profiling windows every
 // five steps and dstat sampling in the background.
 func runValidation(artifact string, c Config, buildDataset func(*platform.Machine) ([]string, error), steps int) (*ValidationResult, error) {
-	m := platform.NewGreendog(platform.Options{})
+	m := c.boot(platform.NewGreendog(platform.Options{}))
 	h := registerTfDarshan(m)
 	paths, err := buildDataset(m)
 	if err != nil {

@@ -14,30 +14,36 @@ import (
 // Typed signatures of the interposable symbols. Darshan wrappers must use
 // these exact types so GOT patching is transparent to call sites.
 type (
-	OpenFunc   func(t *sim.Thread, path string, flags int) (int, error)
-	CloseFunc  func(t *sim.Thread, fd int) error
-	ReadFunc   func(t *sim.Thread, fd int, buf []byte) (int, error)
-	PreadFunc  func(t *sim.Thread, fd int, buf []byte, off int64) (int, error)
-	WriteFunc  func(t *sim.Thread, fd int, buf []byte) (int, error)
-	PwriteFunc func(t *sim.Thread, fd int, buf []byte, off int64) (int, error)
-	LseekFunc  func(t *sim.Thread, fd int, off int64, whence int) (int64, error)
-	StatFunc   func(t *sim.Thread, path string) (vfs.FileInfo, error)
-	FsyncFunc  func(t *sim.Thread, fd int) error
-	UnlinkFunc func(t *sim.Thread, path string) error
-	FopenFunc  func(t *sim.Thread, path, mode string) (*vfs.Stream, error)
-	FreadFunc  func(t *sim.Thread, st *vfs.Stream, buf []byte) (int, error)
-	FwriteFunc func(t *sim.Thread, st *vfs.Stream, buf []byte) (int, error)
-	FseekFunc  func(t *sim.Thread, st *vfs.Stream, off int64, whence int) error
-	FflushFunc func(t *sim.Thread, st *vfs.Stream) error
-	FcloseFunc func(t *sim.Thread, st *vfs.Stream) error
+	OpenFunc  func(t *sim.Thread, path string, flags int) (int, error)
+	CloseFunc func(t *sim.Thread, fd int) error
+	ReadFunc  func(t *sim.Thread, fd int, buf []byte) (int, error)
+	PreadFunc func(t *sim.Thread, fd int, buf []byte, off int64) (int, error)
+	// PreadDiscardFunc is the count-only pread: identical syscall and
+	// device cost to a pread of count bytes, but the buffer is never
+	// materialized (zero-materialization read path).
+	PreadDiscardFunc func(t *sim.Thread, fd int, count int64, off int64) (int, error)
+	WriteFunc        func(t *sim.Thread, fd int, buf []byte) (int, error)
+	PwriteFunc       func(t *sim.Thread, fd int, buf []byte, off int64) (int, error)
+	LseekFunc        func(t *sim.Thread, fd int, off int64, whence int) (int64, error)
+	StatFunc         func(t *sim.Thread, path string) (vfs.FileInfo, error)
+	FsyncFunc        func(t *sim.Thread, fd int) error
+	UnlinkFunc       func(t *sim.Thread, path string) error
+	FopenFunc        func(t *sim.Thread, path, mode string) (*vfs.Stream, error)
+	FreadFunc        func(t *sim.Thread, st *vfs.Stream, buf []byte) (int, error)
+	// FreadDiscardFunc is the count-only fread (see PreadDiscardFunc).
+	FreadDiscardFunc func(t *sim.Thread, st *vfs.Stream, count int64) (int, error)
+	FwriteFunc       func(t *sim.Thread, st *vfs.Stream, buf []byte) (int, error)
+	FseekFunc        func(t *sim.Thread, st *vfs.Stream, off int64, whence int) error
+	FflushFunc       func(t *sim.Thread, st *vfs.Stream) error
+	FcloseFunc       func(t *sim.Thread, st *vfs.Stream) error
 )
 
 // IOSymbols lists the interposable I/O symbols in the order Darshan's
 // modules claim them: POSIX module symbols first, then STDIO.
 var IOSymbols = []string{
-	"open", "close", "read", "pread", "write", "pwrite",
+	"open", "close", "read", "pread", "pread_discard", "write", "pwrite",
 	"lseek", "stat", "fsync", "unlink",
-	"fopen", "fread", "fwrite", "fseek", "fflush", "fclose",
+	"fopen", "fread", "fread_discard", "fwrite", "fseek", "fflush", "fclose",
 }
 
 // IsIOSymbol reports whether s is one of the interposable I/O symbols;
@@ -63,6 +69,7 @@ func NewLibrary(fs *vfs.FS) *dynload.Library {
 	l.Define("close", CloseFunc(fs.Close))
 	l.Define("read", ReadFunc(fs.Read))
 	l.Define("pread", PreadFunc(fs.Pread))
+	l.Define("pread_discard", PreadDiscardFunc(fs.PreadDiscard))
 	l.Define("write", WriteFunc(fs.Write))
 	l.Define("pwrite", PwriteFunc(fs.Pwrite))
 	l.Define("lseek", LseekFunc(fs.Lseek))
@@ -71,6 +78,7 @@ func NewLibrary(fs *vfs.FS) *dynload.Library {
 	l.Define("unlink", UnlinkFunc(fs.Unlink))
 	l.Define("fopen", FopenFunc(stdio.Fopen))
 	l.Define("fread", FreadFunc(stdio.Fread))
+	l.Define("fread_discard", FreadDiscardFunc(stdio.FreadDiscard))
 	l.Define("fwrite", FwriteFunc(stdio.Fwrite))
 	l.Define("fseek", FseekFunc(stdio.Fseek))
 	l.Define("fflush", FflushFunc(stdio.Fflush))
@@ -83,44 +91,48 @@ func NewLibrary(fs *vfs.FS) *dynload.Library {
 // calls immediately — the property tf-Darshan's runtime start/stop relies
 // on.
 type Calls struct {
-	open   *dynload.GOTEntry
-	close_ *dynload.GOTEntry
-	read   *dynload.GOTEntry
-	pread  *dynload.GOTEntry
-	write  *dynload.GOTEntry
-	pwrite *dynload.GOTEntry
-	lseek  *dynload.GOTEntry
-	stat   *dynload.GOTEntry
-	fsync  *dynload.GOTEntry
-	unlink *dynload.GOTEntry
-	fopen  *dynload.GOTEntry
-	fread  *dynload.GOTEntry
-	fwrite *dynload.GOTEntry
-	fseek  *dynload.GOTEntry
-	fflush *dynload.GOTEntry
-	fclose *dynload.GOTEntry
+	open         *dynload.GOTEntry
+	close_       *dynload.GOTEntry
+	read         *dynload.GOTEntry
+	pread        *dynload.GOTEntry
+	preadDiscard *dynload.GOTEntry
+	write        *dynload.GOTEntry
+	pwrite       *dynload.GOTEntry
+	lseek        *dynload.GOTEntry
+	stat         *dynload.GOTEntry
+	fsync        *dynload.GOTEntry
+	unlink       *dynload.GOTEntry
+	fopen        *dynload.GOTEntry
+	fread        *dynload.GOTEntry
+	freadDiscard *dynload.GOTEntry
+	fwrite       *dynload.GOTEntry
+	fseek        *dynload.GOTEntry
+	fflush       *dynload.GOTEntry
+	fclose       *dynload.GOTEntry
 }
 
 // Bind resolves all I/O GOT entries of p. The process must have been
 // linked against a library exporting the full I/O surface.
 func Bind(p *dynload.Process) *Calls {
 	return &Calls{
-		open:   p.MustGOT("open"),
-		close_: p.MustGOT("close"),
-		read:   p.MustGOT("read"),
-		pread:  p.MustGOT("pread"),
-		write:  p.MustGOT("write"),
-		pwrite: p.MustGOT("pwrite"),
-		lseek:  p.MustGOT("lseek"),
-		stat:   p.MustGOT("stat"),
-		fsync:  p.MustGOT("fsync"),
-		unlink: p.MustGOT("unlink"),
-		fopen:  p.MustGOT("fopen"),
-		fread:  p.MustGOT("fread"),
-		fwrite: p.MustGOT("fwrite"),
-		fseek:  p.MustGOT("fseek"),
-		fflush: p.MustGOT("fflush"),
-		fclose: p.MustGOT("fclose"),
+		open:         p.MustGOT("open"),
+		close_:       p.MustGOT("close"),
+		read:         p.MustGOT("read"),
+		pread:        p.MustGOT("pread"),
+		preadDiscard: p.MustGOT("pread_discard"),
+		write:        p.MustGOT("write"),
+		pwrite:       p.MustGOT("pwrite"),
+		lseek:        p.MustGOT("lseek"),
+		stat:         p.MustGOT("stat"),
+		fsync:        p.MustGOT("fsync"),
+		unlink:       p.MustGOT("unlink"),
+		fopen:        p.MustGOT("fopen"),
+		fread:        p.MustGOT("fread"),
+		freadDiscard: p.MustGOT("fread_discard"),
+		fwrite:       p.MustGOT("fwrite"),
+		fseek:        p.MustGOT("fseek"),
+		fflush:       p.MustGOT("fflush"),
+		fclose:       p.MustGOT("fclose"),
 	}
 }
 
@@ -142,6 +154,11 @@ func (c *Calls) Read(t *sim.Thread, fd int, buf []byte) (int, error) {
 // Pread calls pread(2) through the GOT.
 func (c *Calls) Pread(t *sim.Thread, fd int, buf []byte, off int64) (int, error) {
 	return c.pread.Fn().(PreadFunc)(t, fd, buf, off)
+}
+
+// PreadDiscard calls the count-only pread through the GOT.
+func (c *Calls) PreadDiscard(t *sim.Thread, fd int, count int64, off int64) (int, error) {
+	return c.preadDiscard.Fn().(PreadDiscardFunc)(t, fd, count, off)
 }
 
 // Write calls write(2) through the GOT.
@@ -182,6 +199,11 @@ func (c *Calls) Fopen(t *sim.Thread, path, mode string) (*vfs.Stream, error) {
 // Fread calls fread(3) through the GOT.
 func (c *Calls) Fread(t *sim.Thread, st *vfs.Stream, buf []byte) (int, error) {
 	return c.fread.Fn().(FreadFunc)(t, st, buf)
+}
+
+// FreadDiscard calls the count-only fread through the GOT.
+func (c *Calls) FreadDiscard(t *sim.Thread, st *vfs.Stream, count int64) (int, error) {
+	return c.freadDiscard.Fn().(FreadDiscardFunc)(t, st, count)
 }
 
 // Fwrite calls fwrite(3) through the GOT.

@@ -25,6 +25,13 @@ type Env struct {
 	GPU  *GPU
 	Prof *profiler.Profiler
 
+	// VerifyContent disables the zero-materialization read fast path:
+	// whole-file readers materialize every byte through the regular
+	// pread/fread symbols and checksum the content against the VFS
+	// generator. Simulated time and Darshan counters are identical either
+	// way; only host CPU time differs. Off by default.
+	VerifyContent bool
+
 	scratch map[int][]byte
 }
 

@@ -5,6 +5,12 @@
 // compute. Pipeline stages run as simulated threads, so threading and
 // prefetch parameters have the same performance consequences the paper
 // measures (Figs. 7b and 11a).
+//
+// Zero-materialization contract: samples flowing through the pipeline are
+// summarized by their byte counts (Sample.Bytes); payload bytes are never
+// materialized by the map functions' whole-file reads unless the
+// environment's VerifyContent mode is on. Timing, counters and Darshan
+// records are identical in both modes.
 package tfdata
 
 import (

@@ -23,6 +23,13 @@ const ReadChunk = 1 << 20
 // ReadFile reads the whole file like TF's ReadFileOp: open, pread in
 // chunks until a zero-length read signals EOF, close. It returns the byte
 // count read.
+//
+// Since no caller consumes the payload (samples are summarized by their
+// byte count), the loop issues count-only preads by default, skipping
+// content generation entirely while charging identical simulated time and
+// producing identical Darshan records. Env.VerifyContent restores the
+// materializing preads plus a checksum round-trip against the VFS content
+// generator.
 func ReadFile(t *sim.Thread, env *tf.Env, path string) (int64, error) {
 	tm := env.Trace(t, "ReadFile")
 	defer tm.End(t)
@@ -31,10 +38,16 @@ func ReadFile(t *sim.Thread, env *tf.Env, path string) (int64, error) {
 		return 0, fmt.Errorf("tfio: %w", err)
 	}
 	defer env.Libc.Close(t, fd)
-	buf := env.ScratchBuf(t, ReadChunk)
+	if env.VerifyContent {
+		total, err := verifiedPreadLoop(t, env, path, fd, ReadChunk)
+		if err != nil {
+			return total, fmt.Errorf("tfio: %w", err)
+		}
+		return total, nil
+	}
 	var total int64
 	for {
-		n, err := env.Libc.Pread(t, fd, buf, total)
+		n, err := env.Libc.PreadDiscard(t, fd, ReadChunk, total)
 		if err != nil {
 			return total, fmt.Errorf("tfio: %w", err)
 		}
@@ -43,6 +56,36 @@ func ReadFile(t *sim.Thread, env *tf.Env, path string) (int64, error) {
 		}
 		total += int64(n)
 	}
+}
+
+// verifiedPreadLoop is the VerifyContent whole-file read: materializing
+// preads with the same chunking as the fast path, feeding a running
+// checksum that must match the VFS generator's over the same range.
+func verifiedPreadLoop(t *sim.Thread, env *tf.Env, path string, fd int, chunk int) (int64, error) {
+	buf := env.ScratchBuf(t, chunk)
+	sum := vfs.ChecksumSeed()
+	var total int64
+	for {
+		n, err := env.Libc.Pread(t, fd, buf, total)
+		if err != nil {
+			return total, err
+		}
+		if n == 0 {
+			break
+		}
+		sum = vfs.ChecksumUpdate(sum, buf[:n])
+		total += int64(n)
+	}
+	ino, ok := env.FS.Lookup(path)
+	if !ok {
+		// The open succeeded, so the file existed; losing it here (e.g. a
+		// concurrent unlink) must not silently skip the verification.
+		return total, fmt.Errorf("verify content %s: inode vanished before checksum", path)
+	}
+	if want := ino.ContentChecksum(0, total); want != sum {
+		return total, fmt.Errorf("verify content %s: checksum %#x, want %#x", path, sum, want)
+	}
+	return total, nil
 }
 
 // WritableFile is TF's buffered writable file: appends go through STDIO

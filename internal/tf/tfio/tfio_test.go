@@ -65,6 +65,58 @@ func TestReadFileMissing(t *testing.T) {
 	})
 }
 
+func TestReadFileVerifyContentMatchesDiscard(t *testing.T) {
+	// The count-only fast path and the materializing verify path must be
+	// indistinguishable in returned counts and Darshan counters.
+	size := int64(2*ReadChunk + 777)
+	var counters [2][]int64
+	for i, verify := range []bool{false, true} {
+		m := greendog()
+		m.Env.VerifyContent = verify
+		m.FS.CreateFile(platform.GreendogHDDPath+"/v.bin", size)
+		run(t, m, func(th *sim.Thread) {
+			n, err := ReadFile(th, m.Env, platform.GreendogHDDPath+"/v.bin")
+			if err != nil {
+				t.Fatal(err)
+			}
+			if n != size {
+				t.Fatalf("verify=%v: read %d bytes, want %d", verify, n, size)
+			}
+		})
+		recs := m.Darshan.Posix.Records()
+		if len(recs) != 1 {
+			t.Fatalf("verify=%v: records = %d", verify, len(recs))
+		}
+		counters[i] = recs[0].Counters[:]
+	}
+	for j := range counters[0] {
+		if counters[0][j] != counters[1][j] {
+			t.Fatalf("counter %d diverged: discard %d, verify %d", j, counters[0][j], counters[1][j])
+		}
+	}
+}
+
+func TestRestoreCheckpointVerifyContent(t *testing.T) {
+	// Restoring a written (content-backed) checkpoint under VerifyContent
+	// exercises the checksum round-trip over stored bytes.
+	m := greendog()
+	m.Env.VerifyContent = true
+	vars := []Variable{{Name: "w", Bytes: 1 << 20}, {Name: "b", Bytes: 4096}}
+	run(t, m, func(th *sim.Thread) {
+		res, err := WriteCheckpoint(th, m.Env, platform.GreendogSSDPath+"/vckpt", vars)
+		if err != nil {
+			t.Fatal(err)
+		}
+		n, err := RestoreCheckpoint(th, m.Env, platform.GreendogSSDPath+"/vckpt", vars)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if n != res.Bytes {
+			t.Fatalf("restored %d bytes, wrote %d", n, res.Bytes)
+		}
+	})
+}
+
 func TestWritableFileAppendsViaFwrite(t *testing.T) {
 	m := greendog()
 	run(t, m, func(th *sim.Thread) {

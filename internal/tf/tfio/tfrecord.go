@@ -92,7 +92,8 @@ type ShardIndex struct {
 
 // ScanShard reads the whole shard with large sequential preads, returning
 // per-record payload sizes as samples. This is the container equivalent of
-// the per-file ReadFile loop.
+// the per-file ReadFile loop, and like it the scan is count-only by
+// default (Env.VerifyContent re-enables materialization + checksumming).
 func ScanShard(t *sim.Thread, env *tf.Env, idx *ShardIndex) (int64, error) {
 	tm := env.Trace(t, "TFRecordDataset")
 	defer tm.End(t)
@@ -101,17 +102,22 @@ func ScanShard(t *sim.Thread, env *tf.Env, idx *ShardIndex) (int64, error) {
 		return 0, fmt.Errorf("tfio: %w", err)
 	}
 	defer env.Libc.Close(t, fd)
-	buf := env.ScratchBuf(t, TFRecordReadBuf)
-	var off, total int64
+	if env.VerifyContent {
+		total, err := verifiedPreadLoop(t, env, idx.Path, fd, TFRecordReadBuf)
+		if err != nil {
+			return total, fmt.Errorf("tfio: %w", err)
+		}
+		return total, nil
+	}
+	var total int64
 	for {
-		n, err := env.Libc.Pread(t, fd, buf, off)
+		n, err := env.Libc.PreadDiscard(t, fd, TFRecordReadBuf, total)
 		if err != nil {
 			return total, fmt.Errorf("tfio: %w", err)
 		}
 		if n == 0 {
 			return total, nil
 		}
-		off += int64(n)
 		total += int64(n)
 	}
 }

@@ -1,0 +1,81 @@
+package vfs
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/sim"
+	"repro/internal/storage"
+)
+
+// benchFS builds a one-file FS for read-path benchmarks.
+func benchFS(b *testing.B, size int64) (*FS, *Mount) {
+	b.Helper()
+	fs := New(Config{}) // no syscall CPU: isolate the content path
+	dev := storage.NewFlash("bench0", storage.DefaultSSDParams())
+	m := fs.AddMount(&Mount{Prefix: "/bench", Dev: dev})
+	if _, err := fs.CreateFile("/bench/f", size); err != nil {
+		b.Fatal(err)
+	}
+	return fs, m
+}
+
+// BenchmarkFillContent measures procedural content generation alone, the
+// hot path behind every materializing read.
+func BenchmarkFillContent(b *testing.B) {
+	for _, size := range []int{4 << 10, 1 << 20} {
+		b.Run(fmt.Sprintf("%dKiB", size>>10), func(b *testing.B) {
+			fs, _ := benchFS(b, 1<<20)
+			ino, _ := fs.Lookup("/bench/f")
+			buf := make([]byte, size)
+			b.SetBytes(int64(size))
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				ino.fillContent(buf, 0)
+			}
+		})
+	}
+}
+
+// benchPread runs whole-file chunked preads, materialized or discarded.
+func benchPread(b *testing.B, discard bool) {
+	const fileSize = 1 << 20
+	const chunk = 1 << 20
+	fs, _ := benchFS(b, fileSize)
+	buf := make([]byte, chunk)
+	var err error
+	var k *sim.Kernel
+	b.SetBytes(fileSize)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		// A fresh kernel per iteration keeps virtual time bounded; thread
+		// setup is negligible next to the 1MiB read.
+		k = sim.NewKernel()
+		k.Spawn("bench", func(t *sim.Thread) {
+			fd, e := fs.Open(t, "/bench/f", O_RDONLY)
+			if e != nil {
+				err = e
+				return
+			}
+			if discard {
+				_, err = fs.PreadDiscard(t, fd, chunk, 0)
+			} else {
+				_, err = fs.Pread(t, fd, buf, 0)
+			}
+			fs.Close(t, fd)
+		})
+		if e := k.Run(); e != nil {
+			err = e
+		}
+	}
+	b.StopTimer()
+	if err != nil {
+		b.Fatal(err)
+	}
+}
+
+// BenchmarkVFSPread measures the materializing pread path end to end.
+func BenchmarkVFSPread(b *testing.B) { benchPread(b, false) }
+
+// BenchmarkVFSPreadDiscard measures the count-only pread path end to end.
+func BenchmarkVFSPreadDiscard(b *testing.B) { benchPread(b, true) }

@@ -75,31 +75,58 @@ func (fs *FS) lookupFD(fd int) (*openFile, error) {
 
 func accMode(flags int) int { return flags & 0x3 }
 
-// Pread reads into buf at the given offset without moving the file offset.
-// Reading at or past EOF returns 0 bytes and no error, the POSIX behaviour
-// TensorFlow's read loop relies on to detect end of file.
-func (fs *FS) Pread(t *sim.Thread, fd int, buf []byte, off int64) (int, error) {
+// preadSpan is the common pread path: it charges the syscall entry,
+// validates the descriptor and offset, clamps count to EOF and charges the
+// device read for the resulting span. Content materialization is left to
+// the caller, so count-only reads charge identical simulated time without
+// generating a single byte.
+func (fs *FS) preadSpan(t *sim.Thread, fd int, count, off int64) (*openFile, int64, error) {
 	fs.syscall(t)
 	of, err := fs.lookupFD(fd)
 	if err != nil {
-		return -1, err
+		return nil, -1, err
 	}
 	if accMode(of.flags) == O_WRONLY {
-		return -1, ErrWriteOny
+		return nil, -1, ErrWriteOny
 	}
-	if off < 0 {
-		return -1, ErrInvalid
+	if off < 0 || count < 0 {
+		return nil, -1, ErrInvalid
 	}
 	ino := of.inode
-	if off >= ino.Size || len(buf) == 0 {
-		return 0, nil // EOF: no device access
+	if off >= ino.Size || count == 0 {
+		return of, 0, nil // EOF: no device access
 	}
-	n := int64(len(buf))
+	n := count
 	if off+n > ino.Size {
 		n = ino.Size - off
 	}
 	ino.Mnt.Dev.Read(t, ino.Extent+off, n)
-	ino.fillContent(buf[:n], off)
+	return of, n, nil
+}
+
+// Pread reads into buf at the given offset without moving the file offset.
+// Reading at or past EOF returns 0 bytes and no error, the POSIX behaviour
+// TensorFlow's read loop relies on to detect end of file.
+func (fs *FS) Pread(t *sim.Thread, fd int, buf []byte, off int64) (int, error) {
+	of, n, err := fs.preadSpan(t, fd, int64(len(buf)), off)
+	if err != nil {
+		return -1, err
+	}
+	if n > 0 {
+		of.inode.fillContent(buf[:n], off)
+	}
+	return int(n), nil
+}
+
+// PreadDiscard is the zero-materialization pread: it behaves exactly like
+// Pread(fd, buf[:count], off) — same syscall CPU, same device read, same
+// returned byte count — but never generates the file's bytes, for callers
+// that only consume the count (TensorFlow's whole-file read loop).
+func (fs *FS) PreadDiscard(t *sim.Thread, fd int, count int64, off int64) (int, error) {
+	_, n, err := fs.preadSpan(t, fd, count, off)
+	if err != nil {
+		return -1, err
+	}
 	return int(n), nil
 }
 

@@ -120,26 +120,55 @@ func (s *Stdio) Fwrite(t *sim.Thread, st *Stream, data []byte) (int, error) {
 	return len(data), nil
 }
 
-// Fread reads up to len(buf) bytes from the stream, returning the count
-// (0 at EOF, matching feof semantics closely enough for instrumentation).
-func (s *Stdio) Fread(t *sim.Thread, st *Stream, buf []byte) (int, error) {
+// freadSpan is the common fread path: flush pending output, clamp count to
+// EOF, charge the device read and advance the stream offset. The caller
+// materializes content (or not).
+func (s *Stdio) freadSpan(t *sim.Thread, st *Stream, count int64) (off int64, n int64, err error) {
 	if st.closed || !st.read {
-		return 0, ErrBadFD
+		return 0, 0, ErrBadFD
 	}
 	if err := s.Fflush(t, st); err != nil {
-		return 0, err
+		return 0, 0, err
 	}
 	ino := st.inode
-	if st.offset >= ino.Size || len(buf) == 0 {
-		return 0, nil
+	if st.offset >= ino.Size || count <= 0 {
+		return st.offset, 0, nil
 	}
-	n := int64(len(buf))
+	n = count
 	if st.offset+n > ino.Size {
 		n = ino.Size - st.offset
 	}
-	ino.Mnt.Dev.Read(t, ino.Extent+st.offset, n)
-	ino.fillContent(buf[:n], st.offset)
+	off = st.offset
+	ino.Mnt.Dev.Read(t, ino.Extent+off, n)
 	st.offset += n
+	return off, n, nil
+}
+
+// Fread reads up to len(buf) bytes from the stream, returning the count
+// (0 at EOF, matching feof semantics closely enough for instrumentation).
+func (s *Stdio) Fread(t *sim.Thread, st *Stream, buf []byte) (int, error) {
+	off, n, err := s.freadSpan(t, st, int64(len(buf)))
+	if err != nil {
+		return 0, err
+	}
+	if n > 0 {
+		st.inode.fillContent(buf[:n], off)
+	}
+	return int(n), nil
+}
+
+// FreadDiscard is the zero-materialization fread: identical stream
+// semantics and simulated cost to Fread with a count-byte buffer, but the
+// bytes are never generated. A negative count is ErrInvalid, matching
+// PreadDiscard (a []byte length can never be negative, a count can).
+func (s *Stdio) FreadDiscard(t *sim.Thread, st *Stream, count int64) (int, error) {
+	if count < 0 {
+		return 0, ErrInvalid
+	}
+	_, n, err := s.freadSpan(t, st, count)
+	if err != nil {
+		return 0, err
+	}
 	return int(n), nil
 }
 

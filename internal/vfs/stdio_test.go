@@ -52,6 +52,30 @@ func TestFwriteLargeWritesBypassBuffer(t *testing.T) {
 	})
 }
 
+func TestFreadDiscardAdvancesLikeFread(t *testing.T) {
+	fs, _, _, _, _ := testFS()
+	stdio := NewStdio(fs)
+	fs.CreateFile("/data/fd", 10)
+	runSim(t, func(th *sim.Thread) {
+		st, err := stdio.Fopen(th, "/data/fd", "r")
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, want := range []int{4, 4, 2, 0} {
+			if n, err := stdio.FreadDiscard(th, st, 4); err != nil || n != want {
+				t.Fatalf("FreadDiscard = %d, %v (want %d)", n, err, want)
+			}
+		}
+		if off := stdio.Ftell(st); off != 10 {
+			t.Fatalf("offset after discard reads = %d, want 10", off)
+		}
+		if _, err := stdio.FreadDiscard(th, st, -1); !errors.Is(err, ErrInvalid) {
+			t.Fatalf("negative count error = %v", err)
+		}
+		stdio.Fclose(th, st)
+	})
+}
+
 func TestFreadRoundTrip(t *testing.T) {
 	fs, _, _, _, _ := testFS()
 	stdio := NewStdio(fs)

@@ -12,6 +12,7 @@
 package vfs
 
 import (
+	"encoding/binary"
 	"errors"
 	"fmt"
 	"path"
@@ -258,15 +259,21 @@ func (fs *FS) Migrate(p string, dst *Mount) error {
 		return nil
 	}
 	ino.Mnt = dst
-	ino.Extent = dst.cursor
-	dst.cursor += ino.Size
-	ino.warm = false // fresh tier: metadata cold again
+	fs.allocExtent(ino, ino.Size) // enforces dst capacity like any allocation
+	ino.warm = false              // fresh tier: metadata cold again
 	return nil
 }
 
+// contentMul is the per-byte stride of the procedural content generator:
+// byte i of a file is byte((seed + i*contentMul) >> 16).
+const contentMul = 1103515245
+
 // fillContent fills buf with the file's bytes at off: stored content when
 // present, otherwise deterministic procedural bytes so content round-trips
-// are checkable without materializing multi-GB datasets.
+// are checkable without materializing multi-GB datasets. Generation is
+// word-wise — eight bytes assembled per stored uint64, with the multiply
+// strength-reduced to a running addition (exact under two's-complement
+// wraparound) — instead of one multiply per byte.
 func (ino *Inode) fillContent(buf []byte, off int64) {
 	if ino.content != nil {
 		n := copy(buf, ino.content[off:])
@@ -275,9 +282,21 @@ func (ino *Inode) fillContent(buf []byte, off int64) {
 		}
 		return
 	}
-	for i := range buf {
-		x := ino.seed + (off+int64(i))*1103515245
+	x := ino.seed + off*contentMul
+	i := 0
+	for ; i+8 <= len(buf); i += 8 {
+		x0, x1, x2, x3 := x, x+contentMul, x+2*contentMul, x+3*contentMul
+		x4, x5, x6, x7 := x+4*contentMul, x+5*contentMul, x+6*contentMul, x+7*contentMul
+		w := uint64(byte(x0>>16)) | uint64(byte(x1>>16))<<8 |
+			uint64(byte(x2>>16))<<16 | uint64(byte(x3>>16))<<24 |
+			uint64(byte(x4>>16))<<32 | uint64(byte(x5>>16))<<40 |
+			uint64(byte(x6>>16))<<48 | uint64(byte(x7>>16))<<56
+		binary.LittleEndian.PutUint64(buf[i:], w)
+		x += 8 * contentMul
+	}
+	for ; i < len(buf); i++ {
 		buf[i] = byte(x >> 16)
+		x += contentMul
 	}
 }
 
@@ -286,6 +305,44 @@ func (ino *Inode) ContentByte(off int64) byte {
 	var b [1]byte
 	ino.fillContent(b[:], off)
 	return b[0]
+}
+
+// FNV-1a parameters of the content checksum used by verify-content reads.
+const (
+	checksumOffset64 = 14695981039346656037
+	checksumPrime64  = 1099511628211
+)
+
+// ChecksumSeed returns the initial value of a content checksum.
+func ChecksumSeed() uint64 { return checksumOffset64 }
+
+// ChecksumUpdate folds b into a running content checksum. Readers in
+// verify-content mode feed every materialized buffer through it and compare
+// the result against Inode.ContentChecksum over the same range.
+func ChecksumUpdate(h uint64, b []byte) uint64 {
+	for _, c := range b {
+		h = (h ^ uint64(c)) * checksumPrime64
+	}
+	return h
+}
+
+// ContentChecksum returns the checksum of the file's bytes in
+// [off, off+n), generated directly with no simulated I/O. It is the ground
+// truth verify-content reads check their buffers against.
+func (ino *Inode) ContentChecksum(off, n int64) uint64 {
+	var chunk [64 << 10]byte
+	h := ChecksumSeed()
+	for n > 0 {
+		c := n
+		if c > int64(len(chunk)) {
+			c = int64(len(chunk))
+		}
+		ino.fillContent(chunk[:c], off)
+		h = ChecksumUpdate(h, chunk[:c])
+		off += c
+		n -= c
+	}
+	return h
 }
 
 // chargeColdOpen charges cold metadata I/O for first-touch of dir and inode.

@@ -91,6 +91,66 @@ func TestPreadAtEOFReturnsZeroWithoutDeviceAccess(t *testing.T) {
 	})
 }
 
+func TestPreadDiscardMatchesPread(t *testing.T) {
+	// Same device traffic, same simulated time, same returned counts as a
+	// materializing pread — just no bytes.
+	fs, _, _, hdd, _ := testFS()
+	fs.CreateFile("/data/d", 1000)
+	var tPread, tDiscard int64
+	tPread = runSim(t, func(th *sim.Thread) {
+		fd, _ := fs.Open(th, "/data/d", O_RDONLY)
+		buf := make([]byte, 400)
+		for _, want := range []int{400, 400, 200, 0} {
+			n, err := fs.Read(th, fd, buf)
+			if err != nil || n != want {
+				t.Fatalf("Read = %d, %v (want %d)", n, err, want)
+			}
+		}
+		fs.Close(th, fd)
+	})
+	readOps, bytesRead := hdd.Counters().ReadOps, hdd.Counters().BytesRead
+
+	fs2, _, _, hdd2, _ := testFS()
+	fs2.CreateFile("/data/d", 1000)
+	tDiscard = runSim(t, func(th *sim.Thread) {
+		fd, _ := fs2.Open(th, "/data/d", O_RDONLY)
+		var off int64
+		for _, want := range []int{400, 400, 200, 0} {
+			n, err := fs2.PreadDiscard(th, fd, 400, off)
+			if err != nil || n != want {
+				t.Fatalf("PreadDiscard = %d, %v (want %d)", n, err, want)
+			}
+			off += int64(n)
+		}
+		fs2.Close(th, fd)
+	})
+	if hdd2.Counters().ReadOps != readOps || hdd2.Counters().BytesRead != bytesRead {
+		t.Fatalf("device traffic diverged: discard %+v, pread ops=%d bytes=%d",
+			hdd2.Counters(), readOps, bytesRead)
+	}
+	if tPread != tDiscard {
+		t.Fatalf("simulated time diverged: pread %d ns, discard %d ns", tPread, tDiscard)
+	}
+}
+
+func TestPreadDiscardErrors(t *testing.T) {
+	fs, _, _, _, _ := testFS()
+	fs.CreateFile("/data/e", 100)
+	runSim(t, func(th *sim.Thread) {
+		if _, err := fs.PreadDiscard(th, 99, 10, 0); !errors.Is(err, ErrBadFD) {
+			t.Fatalf("bad fd error = %v", err)
+		}
+		fd, _ := fs.Open(th, "/data/e", O_RDONLY)
+		if _, err := fs.PreadDiscard(th, fd, 10, -1); !errors.Is(err, ErrInvalid) {
+			t.Fatalf("negative offset error = %v", err)
+		}
+		if _, err := fs.PreadDiscard(th, fd, -1, 0); !errors.Is(err, ErrInvalid) {
+			t.Fatalf("negative count error = %v", err)
+		}
+		fs.Close(th, fd)
+	})
+}
+
 func TestColdMetadataChargedOncePerFile(t *testing.T) {
 	fs, _, _, hdd, _ := testFS()
 	fs.CreateFile("/data/a", 10)
@@ -225,6 +285,27 @@ func TestOpenErrors(t *testing.T) {
 		}
 		fs.Close(th, fd)
 	})
+}
+
+func TestMigrateEnforcesCapacity(t *testing.T) {
+	// Staging to a too-small fast tier must panic like allocExtent does,
+	// not silently overflow the device.
+	fs := New(DefaultConfig())
+	hdd := storage.NewHDD("sda", storage.DefaultHDDParams())
+	p := storage.DefaultOptaneParams()
+	p.Capacity = 1000
+	small := storage.NewFlash("nvme0n1", p)
+	fs.AddMount(&Mount{Prefix: "/data", Dev: hdd, OpenMetaTrips: 1, DirMetaTrips: 1})
+	mFast := fs.AddMount(&Mount{Prefix: "/fast", Dev: small, OpenMetaTrips: 1, DirMetaTrips: 1})
+	if _, err := fs.CreateFile("/data/big", 4000); err != nil {
+		t.Fatal(err)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Migrate past device capacity did not panic")
+		}
+	}()
+	fs.Migrate("/data/big", mFast)
 }
 
 func TestMigrateMovesDataToFastTier(t *testing.T) {

@@ -4,7 +4,9 @@
 // costs, and the tf.data capture functions (I/O + preprocessing) of each
 // use-case. File contents are never inspected by any experiment — only
 // sizes and access patterns matter — so populations are generated
-// size-accurately from deterministic seeds.
+// size-accurately from deterministic seeds, and the capture functions'
+// whole-file reads ride tfio's zero-materialization read path (count-only
+// preads; tf.Env.VerifyContent re-enables byte generation + checksums).
 package workload
 
 import (
