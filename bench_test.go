@@ -107,3 +107,10 @@ func BenchmarkFig11bStaging(b *testing.B) { runArtifact(b, "fig11b") }
 // BenchmarkFig12DstatComparison regenerates Fig. 12 (whole-run disk
 // activity: staged finishes first, 16-thread run last).
 func BenchmarkFig12DstatComparison(b *testing.B) { runArtifact(b, "fig12") }
+
+// BenchmarkRanksScaling runs the distributed data-parallel rank sweep
+// ({1,2,4,8} ranks sharing one Lustre system): per-rank Darshan logs,
+// cross-rank merge, aggregate bandwidth and straggler spread. The merge
+// invariant is verified inside the experiment, so contention-path or
+// reduction regressions fail here, not just in unit tests.
+func BenchmarkRanksScaling(b *testing.B) { runArtifact(b, "ranks") }

@@ -31,11 +31,16 @@ func main() {
 	scale := fs.Float64("scale", 1.0, "dataset/step scale factor (1.0 = paper scale)")
 	seed := fs.Int64("seed", 0, "shuffle seed perturbation")
 	verify := fs.Bool("verify", false, "materialize and checksum all read content (slow; validates the zero-materialization fast path)")
+	ranks := fs.Int("ranks", 0, "pin the distributed 'ranks' experiment to one rank count (0 = sweep 1,2,4,8)")
 	outDir := fs.String("out", ".", "artifact output directory")
 	if err := fs.Parse(os.Args[2:]); err != nil {
 		os.Exit(2)
 	}
-	cfg := experiments.Config{Scale: *scale, Seed: *seed, VerifyContent: *verify}
+	if *ranks < 0 {
+		fmt.Fprintf(os.Stderr, "invalid -ranks %d\n", *ranks)
+		os.Exit(2)
+	}
+	cfg := experiments.Config{Scale: *scale, Seed: *seed, VerifyContent: *verify, Ranks: *ranks}
 
 	switch cmd {
 	case "artifacts":
@@ -93,9 +98,12 @@ func main() {
 func usage() {
 	fmt.Fprintln(os.Stderr, `usage:
   tfdarshan list
-  tfdarshan run       [-scale f] [-seed n] [-verify] <id>...|all
-  tfdarshan metrics   [-scale f] [-seed n] [-verify] <id>...|all
-  tfdarshan artifacts [-scale f] [-out dir] <imagenet|malware>`)
+  tfdarshan run       [-scale f] [-seed n] [-verify] [-ranks n] <id>...|all
+  tfdarshan metrics   [-scale f] [-seed n] [-verify] [-ranks n] <id>...|all
+  tfdarshan artifacts [-scale f] [-out dir] <imagenet|malware>
+
+the "ranks" experiment shards ImageNet over N data-parallel ranks on one
+shared Lustre system; -ranks pins it to a single rank count`)
 }
 
 // writeArtifacts runs a profiled case study and writes the Darshan log,

@@ -8,6 +8,7 @@ import (
 	"repro/internal/platform"
 	"repro/internal/proto"
 	"repro/internal/sim"
+	"repro/internal/stats"
 	"repro/internal/tf/keras"
 	"repro/internal/tf/tfdata"
 	"repro/internal/trace"
@@ -340,7 +341,10 @@ func TestStagingAdvisorPicksSmallFiles(t *testing.T) {
 		s.PerFile = append(s.PerFile, FileStats{Name: fmt.Sprintf("large%02d", i), Size: 10 << 20})
 	}
 	adv := AdviseStaging(s, 480<<30)
-	if adv.Threshold < 2<<20 || adv.Threshold > 8<<20 {
+	// With the upper-inclusive threshold the 1MB rung already captures the
+	// whole small regime (files of exactly 1MB), so any rung from 1MB up is
+	// a correct pick as long as it stages exactly the small files.
+	if adv.Threshold < 1<<20 || adv.Threshold > 8<<20 {
 		t.Fatalf("threshold = %d", adv.Threshold)
 	}
 	if adv.FileCount != 40 {
@@ -354,6 +358,34 @@ func TestStagingAdvisorPicksSmallFiles(t *testing.T) {
 	}
 	if len(adv.Files) != 40 {
 		t.Fatalf("file list = %d", len(adv.Files))
+	}
+}
+
+func TestStagingThresholdEdgeInclusive(t *testing.T) {
+	// Regression: the advisor used the exclusive `Size < threshold` while
+	// the Darshan size histograms it reasons from have upper-inclusive
+	// edges, so a file sitting exactly on a bucket edge showed up in the
+	// file-size panel but was silently skipped by the staging advice.
+	s := &SessionStats{}
+	for i := 0; i < 40; i++ {
+		s.PerFile = append(s.PerFile, FileStats{Name: fmt.Sprintf("edge%02d", i), Size: 2 << 20})
+	}
+	for i := 0; i < 60; i++ {
+		s.PerFile = append(s.PerFile, FileStats{Name: fmt.Sprintf("large%02d", i), Size: 50 << 20})
+	}
+	adv := AdviseStaging(s, 480<<30)
+	if adv.Threshold != 2<<20 {
+		t.Fatalf("threshold = %d, want the 2MB edge rung", adv.Threshold)
+	}
+	if adv.FileCount != 40 || len(adv.Files) != 40 {
+		t.Fatalf("staged %d files (list %d), want all 40 edge-sized files", adv.FileCount, len(adv.Files))
+	}
+	// The same file lands in the 1M-4M histogram bucket whose lower edge it
+	// sits on the boundary of — panel and advisor now agree.
+	h := stats.NewDarshanSizeHistogram()
+	h.Add(2 << 20)
+	if h.Counts[5] != 1 { // 1M-4M bucket
+		t.Fatalf("histogram bucket counts = %v", h.Counts)
 	}
 }
 

@@ -39,7 +39,7 @@ func (a *StagingAdvice) FracBytes() float64 {
 
 // String summarizes the advice.
 func (a *StagingAdvice) String() string {
-	return fmt.Sprintf("stage %d files < %d bytes (%.0f%% of files, %.1f%% of bytes, %.2f GB)",
+	return fmt.Sprintf("stage %d files <= %d bytes (%.0f%% of files, %.1f%% of bytes, %.2f GB)",
 		a.FileCount, a.Threshold, a.FracFiles()*100, a.FracBytes()*100, float64(a.Bytes)/1e9)
 }
 
@@ -77,7 +77,10 @@ func AdviseStaging(s *SessionStats, fastCapacity int64) *StagingAdvice {
 		var cnt int
 		var bytes int64
 		for _, f := range files {
-			if f.Size > 0 && f.Size < th {
+			// Upper-inclusive, matching the Darshan size-histogram edges
+			// (stats.Histogram.BucketFor uses v <= e): a file sitting exactly
+			// on a bucket edge is staged by the same threshold that bins it.
+			if f.Size > 0 && f.Size <= th {
 				cnt++
 				bytes += f.Size
 			}
@@ -102,7 +105,7 @@ func AdviseStaging(s *SessionStats, fastCapacity int64) *StagingAdvice {
 		return best
 	}
 	for _, f := range files {
-		if f.Size > 0 && f.Size < best.Threshold {
+		if f.Size > 0 && f.Size <= best.Threshold {
 			best.Files = append(best.Files, f.Name)
 		}
 	}

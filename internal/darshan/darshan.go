@@ -61,6 +61,7 @@ func DefaultConfig() Config {
 // STDIO and DXT modules). One Runtime instruments one process.
 type Runtime struct {
 	cfg      Config
+	rank     int   // MPI-style rank stamped on every record (0 outside clusters)
 	jobStart int64 // virtual ns at runtime init
 
 	// mu is the darshan-core lock: every wrapper's record update holds
@@ -94,6 +95,29 @@ func NewRuntime(cfg Config, now int64) *Runtime {
 
 // JobStart returns the virtual time of runtime initialization.
 func (rt *Runtime) JobStart() int64 { return rt.jobStart }
+
+// SetRank stamps all records created from now on with an MPI-style rank.
+// The distributed driver gives each simulated process its own runtime and
+// rank, so per-rank logs carry their origin like Darshan's MPI build.
+func (rt *Runtime) SetRank(rank int) { rt.rank = rank }
+
+// Rank returns the runtime's rank.
+func (rt *Runtime) Rank() int { return rt.rank }
+
+// Export copies the module buffers at job end without charging simulated
+// time: Darshan's shutdown reduction runs after the application's threads
+// have exited, so there is no instrumented thread to bill (WriteLog
+// already relies on the same convention). now is the kernel time at
+// export.
+func (rt *Runtime) Export(now int64) *Snapshot {
+	return &Snapshot{
+		Time:  rt.rel(now),
+		Posix: rt.Posix.copyRecords(),
+		Stdio: rt.Stdio.copyRecords(),
+		DXT:   rt.DXT.copyRecords(),
+		Names: rt.NameRecords(),
+	}
+}
 
 // rel converts an absolute virtual time to seconds since job start, the
 // unit of all Darshan float counters.
@@ -155,13 +179,7 @@ func (rt *Runtime) Snapshot(t *sim.Thread) *Snapshot {
 	if rt.cfg.SnapshotRecordCPU > 0 && nRecords > 0 {
 		t.Sleep(sim.Duration(nRecords) * rt.cfg.SnapshotRecordCPU)
 	}
-	snap := &Snapshot{
-		Time:  rt.rel(t.Now()),
-		Posix: rt.Posix.copyRecords(),
-		Stdio: rt.Stdio.copyRecords(),
-		DXT:   rt.DXT.copyRecords(),
-		Names: rt.NameRecords(),
-	}
+	snap := rt.Export(t.Now())
 	rt.mu.Unlock(t)
 	return snap
 }

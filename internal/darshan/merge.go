@@ -1,0 +1,246 @@
+package darshan
+
+import "sort"
+
+// This file implements the cross-rank log merger of the distributed
+// scenario: N ranks each run their own Runtime over a shared parallel file
+// system, export per-rank record sets at job end, and Merge reduces them
+// into one aggregate view — per-file counters summed across ranks (the
+// reduction Darshan's MPI build performs at shutdown) plus a globally
+// time-ordered DXT timeline with rank attribution.
+
+// MergedRank is the Rank value of records touched by more than one rank,
+// Darshan's shared-record convention; records a single rank touched keep
+// that rank through the merge.
+const MergedRank = -1
+
+// MergedSegment is one DXT trace segment with its owning rank and file.
+type MergedSegment struct {
+	Segment
+	Rank  int
+	ID    uint64
+	Write bool
+}
+
+// MergedLog is the cross-rank aggregate of per-rank snapshots.
+type MergedLog struct {
+	// NProcs is the number of rank logs merged.
+	NProcs int
+	// JobEnd is the latest snapshot time across ranks (seconds).
+	JobEnd float64
+	// Names is the union of the per-rank name tables.
+	Names map[uint64]string
+	// Posix and Stdio hold one aggregated record per file id, ordered by
+	// first appearance (rank-major, then record order within the rank).
+	// A record's Rank is its owning rank, or MergedRank once a second
+	// rank contributes to the same file.
+	Posix []PosixRecord
+	Stdio []StdioRecord
+	// Timeline is every rank's DXT segments in one globally ordered
+	// sequence (by start time; deterministic tie-breaks).
+	Timeline []MergedSegment
+	// DroppedSegments sums DXT segments lost to per-record memory bounds.
+	DroppedSegments int64
+}
+
+// PosixCounterAdditive reports whether c aggregates across ranks by
+// summation. MAX_BYTE_* take the maximum and the ACCESS1..4 table is
+// re-ranked from the combined per-size counts.
+func PosixCounterAdditive(c PosixCounter) bool {
+	switch {
+	case c == POSIX_MAX_BYTE_READ || c == POSIX_MAX_BYTE_WRITTEN:
+		return false
+	case c >= POSIX_ACCESS1_ACCESS && c <= POSIX_ACCESS4_COUNT:
+		return false
+	}
+	return true
+}
+
+// StdioCounterAdditive reports whether c aggregates across ranks by
+// summation (all but the MAX_BYTE_* watermarks).
+func StdioCounterAdditive(c StdioCounter) bool {
+	return c != STDIO_MAX_BYTE_READ && c != STDIO_MAX_BYTE_WRITTEN
+}
+
+// mergeStartTimestamp folds a *_START_TIMESTAMP: earliest nonzero (zero
+// means the operation never happened on that rank).
+func mergeStartTimestamp(dst *float64, v float64) {
+	if v == 0 {
+		return
+	}
+	if *dst == 0 || v < *dst {
+		*dst = v
+	}
+}
+
+// Merge reduces per-rank job-end snapshots (index = rank) into one
+// aggregate log. Counter semantics per class:
+//
+//   - operation/byte/bucket counters: summed, so the merged value equals
+//     the sum of the per-rank values exactly;
+//   - MAX_BYTE_* watermarks and F_MAX_*_TIME: maximum across ranks;
+//   - *_START_TIMESTAMP: earliest nonzero; *_END_TIMESTAMP: latest;
+//   - F_*_TIME accumulators: summed (total time across ranks);
+//   - ACCESS1..4: re-ranked from the union of the per-rank access tables.
+func Merge(perRank []*Snapshot) *MergedLog {
+	out := &MergedLog{
+		Names: make(map[uint64]string),
+	}
+	posixIdx := make(map[uint64]int)
+	stdioIdx := make(map[uint64]int)
+	accessTables := make(map[uint64]map[int64]int64)
+
+	for rank, snap := range perRank {
+		if snap == nil {
+			continue
+		}
+		out.NProcs++
+		if snap.Time > out.JobEnd {
+			out.JobEnd = snap.Time
+		}
+		for id, name := range snap.Names {
+			out.Names[id] = name
+		}
+		for i := range snap.Posix {
+			src := &snap.Posix[i]
+			j, seen := posixIdx[src.ID]
+			if !seen {
+				j = len(out.Posix)
+				posixIdx[src.ID] = j
+				// The snapshot index is the rank, the same source of truth
+				// the timeline uses (stamped record ranks may be absent
+				// when merging independently captured runs).
+				out.Posix = append(out.Posix, PosixRecord{ID: src.ID, Rank: rank})
+				accessTables[src.ID] = make(map[int64]int64)
+			}
+			dst := &out.Posix[j]
+			if seen && dst.Rank != rank {
+				dst.Rank = MergedRank // shared across ranks
+			}
+			for c := PosixCounter(0); c < PosixNumCounters; c++ {
+				switch {
+				case PosixCounterAdditive(c):
+					dst.Counters[c] += src.Counters[c]
+				case c == POSIX_MAX_BYTE_READ || c == POSIX_MAX_BYTE_WRITTEN:
+					dst.Counters[c] = maxI64(dst.Counters[c], src.Counters[c])
+				}
+			}
+			table := accessTables[src.ID]
+			for k := 0; k < 4; k++ {
+				count := src.Counters[POSIX_ACCESS1_COUNT+PosixCounter(k)]
+				if count > 0 {
+					table[src.Counters[POSIX_ACCESS1_ACCESS+PosixCounter(k)]] += count
+				}
+			}
+			for c := POSIX_F_OPEN_START_TIMESTAMP; c <= POSIX_F_CLOSE_START_TIMESTAMP; c++ {
+				mergeStartTimestamp(&dst.FCounters[c], src.FCounters[c])
+			}
+			for c := POSIX_F_OPEN_END_TIMESTAMP; c <= POSIX_F_CLOSE_END_TIMESTAMP; c++ {
+				dst.FCounters[c] = maxF(dst.FCounters[c], src.FCounters[c])
+			}
+			for _, c := range []PosixFCounter{POSIX_F_READ_TIME, POSIX_F_WRITE_TIME, POSIX_F_META_TIME} {
+				dst.FCounters[c] += src.FCounters[c]
+			}
+			for _, c := range []PosixFCounter{POSIX_F_MAX_READ_TIME, POSIX_F_MAX_WRITE_TIME} {
+				dst.FCounters[c] = maxF(dst.FCounters[c], src.FCounters[c])
+			}
+		}
+		for i := range snap.Stdio {
+			src := &snap.Stdio[i]
+			j, seen := stdioIdx[src.ID]
+			if !seen {
+				j = len(out.Stdio)
+				stdioIdx[src.ID] = j
+				out.Stdio = append(out.Stdio, StdioRecord{ID: src.ID, Rank: rank})
+			}
+			dst := &out.Stdio[j]
+			if seen && dst.Rank != rank {
+				dst.Rank = MergedRank // shared across ranks
+			}
+			for c := StdioCounter(0); c < StdioNumCounters; c++ {
+				if StdioCounterAdditive(c) {
+					dst.Counters[c] += src.Counters[c]
+				} else {
+					dst.Counters[c] = maxI64(dst.Counters[c], src.Counters[c])
+				}
+			}
+			mergeStartTimestamp(&dst.FCounters[STDIO_F_OPEN_START_TIMESTAMP], src.FCounters[STDIO_F_OPEN_START_TIMESTAMP])
+			mergeStartTimestamp(&dst.FCounters[STDIO_F_CLOSE_START_TIMESTAMP], src.FCounters[STDIO_F_CLOSE_START_TIMESTAMP])
+			dst.FCounters[STDIO_F_OPEN_END_TIMESTAMP] = maxF(dst.FCounters[STDIO_F_OPEN_END_TIMESTAMP], src.FCounters[STDIO_F_OPEN_END_TIMESTAMP])
+			dst.FCounters[STDIO_F_CLOSE_END_TIMESTAMP] = maxF(dst.FCounters[STDIO_F_CLOSE_END_TIMESTAMP], src.FCounters[STDIO_F_CLOSE_END_TIMESTAMP])
+			for _, c := range []StdioFCounter{STDIO_F_READ_TIME, STDIO_F_WRITE_TIME, STDIO_F_META_TIME} {
+				dst.FCounters[c] += src.FCounters[c]
+			}
+		}
+		for i := range snap.DXT {
+			rec := &snap.DXT[i]
+			out.DroppedSegments += rec.Dropped
+			for _, seg := range rec.ReadSegs {
+				out.Timeline = append(out.Timeline, MergedSegment{Segment: seg, Rank: rank, ID: rec.ID})
+			}
+			for _, seg := range rec.WriteSegs {
+				out.Timeline = append(out.Timeline, MergedSegment{Segment: seg, Rank: rank, ID: rec.ID, Write: true})
+			}
+		}
+	}
+
+	// Re-rank the combined access tables into ACCESS1..4.
+	for id, table := range accessTables {
+		rec := &out.Posix[posixIdx[id]]
+		rec.accessSizes = table
+		finalizeAccessCounters(rec)
+		rec.accessSizes = nil
+	}
+
+	// Global timeline order: start time, then fully deterministic
+	// tie-breaks (end, rank, file, offset, direction).
+	sort.SliceStable(out.Timeline, func(i, j int) bool {
+		a, b := &out.Timeline[i], &out.Timeline[j]
+		if a.Start != b.Start {
+			return a.Start < b.Start
+		}
+		if a.End != b.End {
+			return a.End < b.End
+		}
+		if a.Rank != b.Rank {
+			return a.Rank < b.Rank
+		}
+		if a.ID != b.ID {
+			return a.ID < b.ID
+		}
+		if a.Offset != b.Offset {
+			return a.Offset < b.Offset
+		}
+		return !a.Write && b.Write
+	})
+	return out
+}
+
+func totalPosix(recs []PosixRecord, c PosixCounter) int64 {
+	var n int64
+	for i := range recs {
+		n += recs[i].Counters[c]
+	}
+	return n
+}
+
+func totalStdio(recs []StdioRecord, c StdioCounter) int64 {
+	var n int64
+	for i := range recs {
+		n += recs[i].Counters[c]
+	}
+	return n
+}
+
+// TotalPosix sums counter c over the merged POSIX records.
+func (m *MergedLog) TotalPosix(c PosixCounter) int64 { return totalPosix(m.Posix, c) }
+
+// TotalStdio sums counter c over the merged STDIO records.
+func (m *MergedLog) TotalStdio(c StdioCounter) int64 { return totalStdio(m.Stdio, c) }
+
+// TotalPosix sums counter c over a snapshot's POSIX records (the per-rank
+// side of the merge invariant).
+func (s *Snapshot) TotalPosix(c PosixCounter) int64 { return totalPosix(s.Posix, c) }
+
+// TotalStdio sums counter c over a snapshot's STDIO records.
+func (s *Snapshot) TotalStdio(c StdioCounter) int64 { return totalStdio(s.Stdio, c) }

@@ -1,0 +1,209 @@
+package darshan
+
+import (
+	"reflect"
+	"sort"
+	"testing"
+)
+
+// syntheticSnapshots builds two rank snapshots sharing one file and each
+// owning a private one, with DXT segments that interleave in time.
+func syntheticSnapshots() []*Snapshot {
+	mkPosix := func(id uint64, rank int, reads, bytes, maxByte int64, rstart, rend float64) PosixRecord {
+		r := PosixRecord{ID: id, Rank: rank}
+		r.Counters[POSIX_OPENS] = 1
+		r.Counters[POSIX_READS] = reads
+		r.Counters[POSIX_BYTES_READ] = bytes
+		r.Counters[POSIX_MAX_BYTE_READ] = maxByte
+		r.Counters[POSIX_SIZE_READ_100K_1M] = reads
+		r.Counters[POSIX_ACCESS1_ACCESS] = bytes / reads
+		r.Counters[POSIX_ACCESS1_COUNT] = reads
+		r.FCounters[POSIX_F_READ_START_TIMESTAMP] = rstart
+		r.FCounters[POSIX_F_READ_END_TIMESTAMP] = rend
+		r.FCounters[POSIX_F_READ_TIME] = rend - rstart
+		r.FCounters[POSIX_F_MAX_READ_TIME] = (rend - rstart) / 2
+		return r
+	}
+	seg := func(off, length int64, start, end float64, tid int) Segment {
+		return Segment{Offset: off, Length: length, Start: start, End: end, TID: tid}
+	}
+	rank0 := &Snapshot{
+		Time:  10,
+		Posix: []PosixRecord{mkPosix(1, 0, 4, 400_000, 99_999, 0.5, 4.0), mkPosix(7, 0, 2, 200_000, 99_999, 1.0, 2.0)},
+		Stdio: []StdioRecord{func() StdioRecord {
+			r := StdioRecord{ID: 9, Rank: 0}
+			r.Counters[STDIO_WRITES] = 3
+			r.Counters[STDIO_BYTES_WRITTEN] = 300
+			r.Counters[STDIO_MAX_BYTE_WRITTEN] = 120
+			return r
+		}()},
+		DXT: []DXTRecord{{
+			ID:       1,
+			ReadSegs: []Segment{seg(0, 100_000, 0.5, 0.7, 1), seg(100_000, 100_000, 2.0, 2.2, 1)},
+		}},
+		Names: map[uint64]string{1: "/pfs/shared", 7: "/pfs/only0", 9: "/pfs/ckpt"},
+	}
+	rank1 := &Snapshot{
+		Time:  12,
+		Posix: []PosixRecord{mkPosix(1, 1, 6, 600_000, 149_999, 0.25, 6.0), mkPosix(8, 1, 2, 200_000, 99_999, 3.0, 4.0)},
+		Stdio: []StdioRecord{func() StdioRecord {
+			r := StdioRecord{ID: 9, Rank: 1}
+			r.Counters[STDIO_WRITES] = 5
+			r.Counters[STDIO_BYTES_WRITTEN] = 500
+			r.Counters[STDIO_MAX_BYTE_WRITTEN] = 90
+			return r
+		}()},
+		DXT: []DXTRecord{{
+			ID:       1,
+			ReadSegs: []Segment{seg(0, 150_000, 0.25, 0.45, 1), seg(150_000, 150_000, 1.0, 1.3, 1)},
+		}, {
+			ID:        8,
+			WriteSegs: []Segment{seg(0, 200_000, 2.0, 2.1, 2)},
+		}},
+		Names: map[uint64]string{1: "/pfs/shared", 8: "/pfs/only1"},
+	}
+	return []*Snapshot{rank0, rank1}
+}
+
+func TestMergeCountersEqualPerRankSums(t *testing.T) {
+	snaps := syntheticSnapshots()
+	m := Merge(snaps)
+	if m.NProcs != 2 {
+		t.Fatalf("nprocs = %d", m.NProcs)
+	}
+	for c := PosixCounter(0); c < PosixNumCounters; c++ {
+		if !PosixCounterAdditive(c) {
+			continue
+		}
+		want := snaps[0].TotalPosix(c) + snaps[1].TotalPosix(c)
+		if got := m.TotalPosix(c); got != want {
+			t.Errorf("%v: merged %d, per-rank sum %d", c, got, want)
+		}
+	}
+	for c := StdioCounter(0); c < StdioNumCounters; c++ {
+		if !StdioCounterAdditive(c) {
+			continue
+		}
+		want := snaps[0].TotalStdio(c) + snaps[1].TotalStdio(c)
+		if got := m.TotalStdio(c); got != want {
+			t.Errorf("%v: merged %d, per-rank sum %d", c, got, want)
+		}
+	}
+}
+
+func TestMergeWatermarksAndTimestamps(t *testing.T) {
+	m := Merge(syntheticSnapshots())
+	// Shared files get the -1 sentinel; single-rank files keep their
+	// owning rank (Darshan's shared-record convention).
+	wantRank := map[uint64]int{1: MergedRank, 7: 0, 8: 1}
+	var shared *PosixRecord
+	for i := range m.Posix {
+		if m.Posix[i].ID == 1 {
+			shared = &m.Posix[i]
+		}
+		if got := m.Posix[i].Rank; got != wantRank[m.Posix[i].ID] {
+			t.Errorf("record %d rank = %d, want %d", m.Posix[i].ID, got, wantRank[m.Posix[i].ID])
+		}
+	}
+	if shared == nil {
+		t.Fatal("shared record missing")
+	}
+	if got := shared.Counters[POSIX_MAX_BYTE_READ]; got != 149_999 {
+		t.Errorf("max byte read = %d, want max across ranks", got)
+	}
+	if got := shared.FCounters[POSIX_F_READ_START_TIMESTAMP]; got != 0.25 {
+		t.Errorf("read start = %v, want earliest nonzero", got)
+	}
+	if got := shared.FCounters[POSIX_F_READ_END_TIMESTAMP]; got != 6.0 {
+		t.Errorf("read end = %v, want latest", got)
+	}
+	if got := shared.FCounters[POSIX_F_READ_TIME]; got != 3.5+5.75 {
+		t.Errorf("read time = %v, want per-rank sum", got)
+	}
+	// Re-ranked access table: rank1's 100_000-byte access (6 ops) beats
+	// rank0's (4 ops); both are the same size so they combine to 10.
+	if shared.Counters[POSIX_ACCESS1_ACCESS] != 100_000 || shared.Counters[POSIX_ACCESS1_COUNT] != 10 {
+		t.Errorf("access1 = %d x %d, want 100000 x 10",
+			shared.Counters[POSIX_ACCESS1_ACCESS], shared.Counters[POSIX_ACCESS1_COUNT])
+	}
+	var ckpt *StdioRecord
+	for i := range m.Stdio {
+		if m.Stdio[i].ID == 9 {
+			ckpt = &m.Stdio[i]
+		}
+	}
+	if ckpt == nil || ckpt.Counters[STDIO_MAX_BYTE_WRITTEN] != 120 {
+		t.Errorf("stdio watermark merge wrong: %+v", ckpt)
+	}
+	if ckpt != nil && ckpt.Rank != MergedRank {
+		t.Errorf("stdio shared record rank = %d, want %d", ckpt.Rank, MergedRank)
+	}
+	if m.JobEnd != 12 {
+		t.Errorf("job end = %v", m.JobEnd)
+	}
+}
+
+func TestMergeTimelineGloballyOrderedWithRankAttribution(t *testing.T) {
+	m := Merge(syntheticSnapshots())
+	if len(m.Timeline) != 5 {
+		t.Fatalf("timeline has %d segments, want 5", len(m.Timeline))
+	}
+	for i := 1; i < len(m.Timeline); i++ {
+		if m.Timeline[i].Start < m.Timeline[i-1].Start {
+			t.Fatalf("timeline out of order at %d: %v after %v", i, m.Timeline[i].Start, m.Timeline[i-1].Start)
+		}
+	}
+	// The first segment is rank 1's early read; ranks interleave.
+	if m.Timeline[0].Rank != 1 || m.Timeline[0].Start != 0.25 {
+		t.Fatalf("timeline[0] = rank %d @ %v", m.Timeline[0].Rank, m.Timeline[0].Start)
+	}
+	ranksSeen := map[int]bool{}
+	for _, s := range m.Timeline {
+		ranksSeen[s.Rank] = true
+	}
+	if !ranksSeen[0] || !ranksSeen[1] {
+		t.Fatalf("timeline lost rank attribution: %v", ranksSeen)
+	}
+	// The write segment keeps its direction.
+	var writes int
+	for _, s := range m.Timeline {
+		if s.Write {
+			writes++
+			if s.ID != 8 || s.Rank != 1 {
+				t.Fatalf("write segment misattributed: %+v", s)
+			}
+		}
+	}
+	if writes != 1 {
+		t.Fatalf("writes in timeline = %d", writes)
+	}
+}
+
+func TestMergeDeterministic(t *testing.T) {
+	a := Merge(syntheticSnapshots())
+	b := Merge(syntheticSnapshots())
+	if !reflect.DeepEqual(a, b) {
+		t.Fatal("merge is not deterministic")
+	}
+	// Record order is first-appearance (rank-major), independent of map
+	// iteration order.
+	var ids []uint64
+	for i := range a.Posix {
+		ids = append(ids, a.Posix[i].ID)
+	}
+	if !reflect.DeepEqual(ids, []uint64{1, 7, 8}) {
+		t.Fatalf("posix record order = %v", ids)
+	}
+	// Name union covers every record.
+	for _, id := range ids {
+		if _, ok := a.Names[id]; !ok {
+			t.Fatalf("name table missing id %d", id)
+		}
+	}
+	sorted := sort.SliceIsSorted(a.Timeline, func(i, j int) bool {
+		return a.Timeline[i].Start < a.Timeline[j].Start
+	})
+	if !sorted {
+		t.Fatal("timeline not sorted")
+	}
+}

@@ -11,7 +11,7 @@ import (
 // keeps per file at runtime.
 type PosixRecord struct {
 	ID        uint64
-	Rank      int // always 0: the non-MPI runtime the paper builds on
+	Rank      int // 0 for the paper's non-MPI runtime; the owning rank in cluster runs; -1 once merged across ranks
 	Counters  [PosixNumCounters]int64
 	FCounters [PosixNumFCounters]float64
 
@@ -88,7 +88,7 @@ func (m *PosixModule) recordFor(t *sim.Thread, path string) *PosixRecord {
 		return nil
 	}
 	m.rt.chargeNewRecord(t)
-	rec := &PosixRecord{ID: id, accessSizes: make(map[int64]int64)}
+	rec := &PosixRecord{ID: id, Rank: m.rt.rank, accessSizes: make(map[int64]int64)}
 	m.records[id] = rec
 	m.order = append(m.order, id)
 	m.rt.registerName(id, path)

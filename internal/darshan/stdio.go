@@ -69,7 +69,7 @@ func (m *StdioModule) recordFor(t *sim.Thread, path string) *StdioRecord {
 		return nil
 	}
 	m.rt.chargeNewRecord(t)
-	rec := &StdioRecord{ID: id}
+	rec := &StdioRecord{ID: id, Rank: m.rt.rank}
 	m.records[id] = rec
 	m.order = append(m.order, id)
 	m.rt.registerName(id, path)

@@ -1,0 +1,235 @@
+// Package distributed drives synchronous data-parallel training across N
+// simulated ranks sharing one parallel file system — the multi-node shape
+// the paper's single-process profiling cannot express, but whose
+// conclusions (shared-PFS contention, stragglers on Lustre) it motivates.
+//
+// Each rank is one compute node of a platform.Cluster: its own CPU pool,
+// GPU, process image and whole-run Darshan runtime, all over a shared
+// vfs.FS whose Lustre device serializes metadata RPCs and shares OSS
+// bandwidth across ranks. Ranks consume disjoint shards of one shuffled
+// file list (tf.data shard semantics) and synchronize gradients after
+// every step through a barrier plus a ring-allreduce cost model, so a
+// slow rank stalls the whole job — stragglers are visible as barrier
+// wait.
+//
+// At job end each rank's Darshan runtime is exported as its own record
+// set and the per-rank logs are reduced with darshan.Merge into aggregate
+// counters and a globally ordered, rank-attributed DXT timeline.
+package distributed
+
+import (
+	"fmt"
+
+	"repro/internal/darshan"
+	"repro/internal/platform"
+	"repro/internal/sim"
+	"repro/internal/tf/keras"
+	"repro/internal/tf/tfdata"
+)
+
+// DefaultLinkBandwidth is the interconnect bandwidth of the allreduce
+// cost model (EDR InfiniBand, ~100 Gbit/s per node).
+const DefaultLinkBandwidth = 12.5e9
+
+// Options configures one distributed training run.
+type Options struct {
+	// Threads is the per-rank map parallelism (num_parallel_calls).
+	Threads int
+	// Batch is the per-rank batch size.
+	Batch int
+	// Prefetch is the per-rank prefetch depth.
+	Prefetch int
+	// Epochs repeats the shard (tfdata.Repeat); 0 or 1 is a single epoch.
+	Epochs int
+	// InterleaveCycle/InterleaveBlock, when both positive, rearrange each
+	// rank's shard into block-cyclic per-worker streams
+	// (tfdata.Interleave) before mapping.
+	InterleaveCycle int
+	InterleaveBlock int
+	// Shuffle seeds the shared file shuffle. Every rank shuffles the full
+	// list with the same seed and then shards, the standard data-parallel
+	// recipe that keeps shards disjoint.
+	Shuffle int64
+	// Model builds one model replica per rank (nil trains without compute,
+	// the STREAM configuration).
+	Model func() *keras.Model
+	// MapFn is the capture function of every rank's input pipeline.
+	MapFn tfdata.MapFunc
+	// LinkBandwidth is the allreduce interconnect bandwidth in bytes/s
+	// (DefaultLinkBandwidth when 0; negative disables gradient cost).
+	LinkBandwidth float64
+	// VerifyContent disables the zero-materialization read fast path on
+	// every rank.
+	VerifyContent bool
+}
+
+// RankResult is one rank's outcome.
+type RankResult struct {
+	Rank int
+	// History is the rank's fit history (wait/compute/sync per step).
+	History *keras.History
+	// Snapshot is the rank's Darshan record set exported at job end.
+	Snapshot *darshan.Snapshot
+	// ShardFiles is the number of files in the rank's shard.
+	ShardFiles int
+}
+
+// BusyNs returns the rank's epoch time minus synchronization stalls — the
+// time the rank itself needed to produce its work, the quantity whose
+// cross-rank spread measures straggling.
+func (r *RankResult) BusyNs() int64 {
+	if r.History == nil {
+		return 0
+	}
+	return r.History.Duration() - r.History.SyncNs()
+}
+
+// Result is a completed distributed run.
+type Result struct {
+	// PerRank holds one entry per rank, in rank order.
+	PerRank []RankResult
+	// Merged is the cross-rank reduction of the per-rank Darshan logs.
+	Merged *darshan.MergedLog
+	// Steps is the lockstep step count every rank ran.
+	Steps int
+	// WallSeconds is the virtual duration of the whole job.
+	WallSeconds float64
+}
+
+// lockstepSteps returns the number of steps every rank can run without
+// exhausting its shard: the minimum across ranks of full batches per
+// shard (at least one — the final partial batch — so tiny shards still
+// train).
+func lockstepSteps(nFiles, ranks, epochs, batch int) (int, error) {
+	steps := -1
+	for r := 0; r < ranks; r++ {
+		n := tfdata.ShardLen(nFiles, ranks, r) * epochs
+		if n == 0 {
+			return 0, fmt.Errorf("distributed: rank %d of %d has an empty shard (%d files)", r, ranks, nFiles)
+		}
+		s := n / batch
+		if s < 1 {
+			s = 1
+		}
+		if steps < 0 || s < steps {
+			steps = s
+		}
+	}
+	return steps, nil
+}
+
+// Run executes one synchronous data-parallel training job over the
+// cluster: every rank builds shuffle→shard→(repeat/interleave)→map→batch→
+// prefetch over the same shared file list, fits its model replica in
+// lockstep with the others, and exports its Darshan record set. The
+// per-rank sets are merged before returning.
+func Run(c *platform.Cluster, paths []string, opts Options) (*Result, error) {
+	ranks := len(c.Nodes)
+	if ranks == 0 {
+		return nil, fmt.Errorf("distributed: cluster has no nodes")
+	}
+	if opts.Batch < 1 || opts.Threads < 1 {
+		return nil, fmt.Errorf("distributed: invalid batch %d / threads %d", opts.Batch, opts.Threads)
+	}
+	epochs := opts.Epochs
+	if epochs < 1 {
+		epochs = 1
+	}
+	steps, err := lockstepSteps(len(paths), ranks, epochs, opts.Batch)
+	if err != nil {
+		return nil, err
+	}
+
+	linkBW := opts.LinkBandwidth
+	if linkBW == 0 {
+		linkBW = DefaultLinkBandwidth
+	}
+	// A single-party barrier is a no-op, keeping one-rank runs
+	// bit-identical to the plain single-process training loop.
+	bar := sim.NewBarrier(ranks)
+	res := &Result{Steps: steps, PerRank: make([]RankResult, ranks)}
+	errs := make([]error, ranks)
+	for r := 0; r < ranks; r++ {
+		r := r
+		node := c.Nodes[r]
+		node.Env.VerifyContent = opts.VerifyContent
+		model := streamModel()
+		if opts.Model != nil {
+			model = opts.Model()
+		}
+		// Ring allreduce: every rank sends and receives 2*(N-1)/N of the
+		// gradient payload over its link; all ranks pay it concurrently
+		// after the step barrier.
+		var gradCost sim.Duration
+		if linkBW > 0 && ranks > 1 {
+			bytes := float64(model.ParamBytes())
+			gradCost = sim.Duration(2 * float64(ranks-1) / float64(ranks) * bytes / linkBW * 1e9)
+		}
+		allReduce := func(t *sim.Thread, step int) {
+			bar.Await(t)
+			if gradCost > 0 {
+				t.Sleep(gradCost)
+			}
+		}
+		// A failed rank must still occupy its barrier slot for every
+		// lockstep step, or its peers park forever and the job surfaces a
+		// kernel deadlock instead of errs[r].
+		drainBarrier := func(t *sim.Thread) {
+			for s := 0; s < steps; s++ {
+				bar.Await(t)
+			}
+		}
+		c.K.Spawn(fmt.Sprintf("rank%d", r), func(t *sim.Thread) {
+			ds := tfdata.FromFiles(node.Env, paths).Shuffle(opts.Shuffle).Shard(ranks, r)
+			shardFiles := ds.Size()
+			if epochs > 1 {
+				ds = ds.Repeat(epochs)
+			}
+			if opts.InterleaveCycle > 0 && opts.InterleaveBlock > 0 {
+				ds = ds.Interleave(opts.InterleaveCycle, opts.InterleaveBlock)
+			}
+			ds = ds.Map(opts.MapFn, opts.Threads).Batch(opts.Batch).Prefetch(opts.Prefetch)
+			it, err := ds.MakeIterator()
+			if err != nil {
+				errs[r] = err
+				drainBarrier(t)
+				return
+			}
+			hist, err := model.Fit(t, node.Env, it, keras.FitOptions{
+				Steps: steps, AllReduce: allReduce,
+			})
+			if err != nil {
+				errs[r] = err
+				// Fit can only fail before its first step, so peers may
+				// still block on every barrier slot.
+				drainBarrier(t)
+				return
+			}
+			res.PerRank[r] = RankResult{Rank: r, History: hist, ShardFiles: shardFiles}
+		})
+	}
+	if err := c.K.Run(); err != nil {
+		return nil, err
+	}
+	for r, err := range errs {
+		if err != nil {
+			return nil, fmt.Errorf("distributed: rank %d: %w", r, err)
+		}
+	}
+	res.WallSeconds = sim.Seconds(c.K.Now())
+
+	// Job-end export of each rank's Darshan record set, then the
+	// cross-rank reduction.
+	snaps := make([]*darshan.Snapshot, ranks)
+	for r, rt := range c.Runtimes() {
+		snaps[r] = rt.Export(c.K.Now())
+		res.PerRank[r].Snapshot = snaps[r]
+	}
+	res.Merged = darshan.Merge(snaps)
+	return res, nil
+}
+
+// streamModel is a compute-free, zero-parameter model: STREAM (I/O-only)
+// runs go through the same keras.Fit lockstep loop and History accounting
+// as model runs, with no device step and no gradient payload.
+func streamModel() *keras.Model { return &keras.Model{Name: "stream"} }

@@ -1,0 +1,262 @@
+package distributed
+
+import (
+	"reflect"
+	"testing"
+
+	"repro/internal/darshan"
+	"repro/internal/platform"
+	"repro/internal/sim"
+	"repro/internal/tf/keras"
+	"repro/internal/tf/tfdata"
+	"repro/internal/workload"
+)
+
+const testSeed = 20200812
+
+// buildDataset populates a small ImageNet-like corpus on the cluster FS.
+func buildDataset(t *testing.T, c *platform.Cluster, files int) *workload.Dataset {
+	t.Helper()
+	spec := workload.DatasetSpec{
+		Name: "dist", Dir: platform.KebnekaiseLustre + "/dist",
+		NumFiles: files, TotalBytes: int64(files) * 96 * 1024, Seed: testSeed,
+	}
+	d, err := workload.Generate(c.FS, spec, workload.ImageNetSizes(spec))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return d
+}
+
+func runRanks(t *testing.T, ranks, files int, opts Options) *Result {
+	t.Helper()
+	c := platform.NewKebnekaiseCluster(ranks, platform.Options{PreloadDarshan: true})
+	d := buildDataset(t, c, files)
+	res, err := Run(c, d.Paths, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res
+}
+
+func defaultOpts() Options {
+	return Options{
+		Threads: 4, Batch: 16, Prefetch: 4, Shuffle: testSeed,
+		Model: workload.AlexNet, MapFn: workload.ImageNetMap,
+	}
+}
+
+// TestSingleRankBitIdenticalToSingleProcessPipeline is the acceptance
+// criterion: a one-rank distributed run produces exactly the Darshan
+// record set and virtual timing of the pre-existing single-process
+// pipeline over the same workload.
+func TestSingleRankBitIdenticalToSingleProcessPipeline(t *testing.T) {
+	const files = 64
+	opts := defaultOpts()
+
+	// Distributed driver, one rank.
+	cluster := platform.NewKebnekaiseCluster(1, platform.Options{PreloadDarshan: true})
+	dDist := buildDataset(t, cluster, files)
+	distRes, err := Run(cluster, dDist.Paths, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// The existing single-process pipeline: same workload, same pipeline
+	// parameters, plain keras.Fit on a preloaded single machine.
+	m := platform.NewKebnekaise(platform.Options{PreloadDarshan: true})
+	spec := workload.DatasetSpec{
+		Name: "dist", Dir: platform.KebnekaiseLustre + "/dist",
+		NumFiles: files, TotalBytes: int64(files) * 96 * 1024, Seed: testSeed,
+	}
+	dSolo, err := workload.Generate(m.FS, spec, workload.ImageNetSizes(spec))
+	if err != nil {
+		t.Fatal(err)
+	}
+	steps := files / opts.Batch
+	var hist *keras.History
+	m.K.Spawn("trainer", func(th *sim.Thread) {
+		ds := tfdata.FromFiles(m.Env, dSolo.Paths).Shuffle(opts.Shuffle).
+			Map(opts.MapFn, opts.Threads).Batch(opts.Batch).Prefetch(opts.Prefetch)
+		it, err := ds.MakeIterator()
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		hist, err = workload.AlexNet().Fit(th, m.Env, it, keras.FitOptions{Steps: steps})
+		if err != nil {
+			t.Error(err)
+		}
+	})
+	if err := m.K.Run(); err != nil {
+		t.Fatal(err)
+	}
+	soloSnap := m.Darshan.Export(m.K.Now())
+
+	if distRes.Steps != steps {
+		t.Fatalf("distributed ran %d steps, single-process %d", distRes.Steps, steps)
+	}
+	rank0 := distRes.PerRank[0]
+	if rank0.History.Duration() != hist.Duration() {
+		t.Errorf("fit duration diverged: dist %d ns, solo %d ns", rank0.History.Duration(), hist.Duration())
+	}
+	if !reflect.DeepEqual(rank0.History.StepWaitNs, hist.StepWaitNs) {
+		t.Error("per-step input waits diverged")
+	}
+	if !reflect.DeepEqual(rank0.Snapshot, soloSnap) {
+		t.Error("rank-0 Darshan record set diverged from the single-process pipeline")
+	}
+	// A one-rank merge is the rank log itself (modulo the merged-rank
+	// stamp on records).
+	for c := darshan.PosixCounter(0); c < darshan.PosixNumCounters; c++ {
+		if !darshan.PosixCounterAdditive(c) {
+			continue
+		}
+		if distRes.Merged.TotalPosix(c) != soloSnap.TotalPosix(c) {
+			t.Errorf("merged %v = %d, single-process %d", c, distRes.Merged.TotalPosix(c), soloSnap.TotalPosix(c))
+		}
+	}
+}
+
+func TestMergedCountersEqualPerRankSums(t *testing.T) {
+	res := runRanks(t, 4, 128, defaultOpts())
+	for c := darshan.PosixCounter(0); c < darshan.PosixNumCounters; c++ {
+		if !darshan.PosixCounterAdditive(c) {
+			continue
+		}
+		var want int64
+		for _, r := range res.PerRank {
+			want += r.Snapshot.TotalPosix(c)
+		}
+		if got := res.Merged.TotalPosix(c); got != want {
+			t.Errorf("%v: merged %d, per-rank sum %d", c, got, want)
+		}
+	}
+	// Every rank actually read data, and reads hit disjoint files: no data
+	// file appears in more than one rank's record set.
+	seen := map[uint64]int{}
+	for _, r := range res.PerRank {
+		if r.Snapshot.TotalPosix(darshan.POSIX_BYTES_READ) == 0 {
+			t.Errorf("rank %d read no bytes", r.Rank)
+		}
+		for i := range r.Snapshot.Posix {
+			rec := &r.Snapshot.Posix[i]
+			if rec.Rank != r.Rank {
+				t.Errorf("record %d on rank %d stamped rank %d", rec.ID, r.Rank, rec.Rank)
+			}
+			seen[rec.ID]++
+		}
+	}
+	for id, n := range seen {
+		if n != 1 {
+			t.Errorf("file %d touched by %d ranks, shards not disjoint", id, n)
+		}
+	}
+	// With disjoint shards every merged record keeps its owning rank; the
+	// -1 shared-record sentinel never appears.
+	for i := range res.Merged.Posix {
+		if res.Merged.Posix[i].Rank == darshan.MergedRank {
+			t.Errorf("merged record %d lost its owning rank", res.Merged.Posix[i].ID)
+		}
+	}
+}
+
+func TestMergedTimelineOrderedAndAttributed(t *testing.T) {
+	res := runRanks(t, 4, 128, defaultOpts())
+	tl := res.Merged.Timeline
+	if len(tl) == 0 {
+		t.Fatal("empty merged timeline")
+	}
+	ranksSeen := map[int]bool{}
+	for i, s := range tl {
+		if i > 0 && s.Start < tl[i-1].Start {
+			t.Fatalf("timeline out of order at %d", i)
+		}
+		if s.Rank < 0 || s.Rank >= 4 {
+			t.Fatalf("segment with bad rank %d", s.Rank)
+		}
+		ranksSeen[s.Rank] = true
+	}
+	if len(ranksSeen) != 4 {
+		t.Fatalf("timeline covers %d ranks, want 4", len(ranksSeen))
+	}
+	// Segment count equals the per-rank DXT totals.
+	var want int
+	for _, r := range res.PerRank {
+		for i := range r.Snapshot.DXT {
+			want += len(r.Snapshot.DXT[i].ReadSegs) + len(r.Snapshot.DXT[i].WriteSegs)
+		}
+	}
+	if len(tl) != want {
+		t.Fatalf("timeline has %d segments, per-rank logs have %d", len(tl), want)
+	}
+}
+
+func TestRanks4Deterministic(t *testing.T) {
+	a := runRanks(t, 4, 96, defaultOpts())
+	b := runRanks(t, 4, 96, defaultOpts())
+	if a.WallSeconds != b.WallSeconds {
+		t.Fatalf("wall time diverged: %v vs %v", a.WallSeconds, b.WallSeconds)
+	}
+	if !reflect.DeepEqual(a.Merged, b.Merged) {
+		t.Fatal("merged records are not bit-identical across runs")
+	}
+	for r := range a.PerRank {
+		if !reflect.DeepEqual(a.PerRank[r].Snapshot, b.PerRank[r].Snapshot) {
+			t.Fatalf("rank %d record set diverged across runs", r)
+		}
+	}
+}
+
+func TestLockstepSynchronizationCouplesRanks(t *testing.T) {
+	res := runRanks(t, 4, 128, defaultOpts())
+	// Synchronous data parallelism: every rank runs the same step count
+	// and ends the job together (last step's barrier releases everyone).
+	for _, r := range res.PerRank {
+		if r.History.StepsRun != res.Steps {
+			t.Fatalf("rank %d ran %d steps, want %d", r.Rank, r.History.StepsRun, res.Steps)
+		}
+		if len(r.History.StepSyncNs) != res.Steps {
+			t.Fatalf("rank %d recorded %d sync samples", r.Rank, len(r.History.StepSyncNs))
+		}
+	}
+	// Some rank must have waited on the barrier at some point.
+	var totalSync int64
+	for _, r := range res.PerRank {
+		totalSync += r.History.SyncNs()
+	}
+	if totalSync == 0 {
+		t.Fatal("no barrier wait recorded across ranks")
+	}
+}
+
+func TestEpochsAndInterleave(t *testing.T) {
+	opts := defaultOpts()
+	opts.Epochs = 2
+	opts.InterleaveCycle = 4
+	opts.InterleaveBlock = 2
+	opts.Batch = 4
+	opts.Model = nil // STREAM-style lockstep loop
+	opts.MapFn = workload.StreamMap
+	res := runRanks(t, 2, 24, opts)
+	// 24 files, 2 ranks, 2 epochs: every file is opened exactly twice.
+	if got := res.Merged.TotalPosix(darshan.POSIX_OPENS); got != 48 {
+		t.Fatalf("merged opens = %d, want 48", got)
+	}
+	if res.Steps != 6 { // 12 files x 2 epochs / batch 4
+		t.Fatalf("steps = %d, want 6", res.Steps)
+	}
+	for _, r := range res.PerRank {
+		if r.ShardFiles != 12 { // the shard itself, not shard x epochs
+			t.Fatalf("rank %d shard files = %d, want 12", r.Rank, r.ShardFiles)
+		}
+	}
+}
+
+func TestEmptyShardRejected(t *testing.T) {
+	c := platform.NewKebnekaiseCluster(8, platform.Options{PreloadDarshan: true})
+	d := buildDataset(t, c, 4) // fewer files than ranks
+	if _, err := Run(c, d.Paths, defaultOpts()); err == nil {
+		t.Fatal("expected empty-shard error")
+	}
+}

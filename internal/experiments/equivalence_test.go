@@ -6,7 +6,9 @@ import (
 
 	"repro/internal/darshan"
 	"repro/internal/platform"
+	"repro/internal/sim"
 	"repro/internal/tf/tfdata"
+	"repro/internal/tf/tfio"
 	"repro/internal/vfs"
 	"repro/internal/workload"
 )
@@ -19,6 +21,22 @@ type equivalenceArtifacts struct {
 	Posix []darshan.PosixRecord
 	Stdio []darshan.StdioRecord
 	DXT   []darshan.DXTRecord
+}
+
+// collectArtifacts snapshots a machine's full Darshan module state and
+// clock, the comparison payload of every equivalence test.
+func collectArtifacts(m *platform.Machine) equivalenceArtifacts {
+	out := equivalenceArtifacts{EndNs: m.K.Now()}
+	for _, r := range m.Darshan.Posix.Records() {
+		out.Posix = append(out.Posix, *r)
+	}
+	for _, r := range m.Darshan.Stdio.Records() {
+		out.Stdio = append(out.Stdio, *r)
+	}
+	for _, r := range m.Darshan.DXT.Records() {
+		out.DXT = append(out.DXT, *r)
+	}
+	return out
 }
 
 // runForEquivalence executes a small instrumented epoch with the read fast
@@ -40,17 +58,67 @@ func runForEquivalence(t *testing.T, build func(fs *vfs.FS) (*workload.Dataset, 
 	if _, err := setup.run(); err != nil {
 		t.Fatal(err)
 	}
-	out := equivalenceArtifacts{EndNs: m.K.Now()}
-	for _, r := range m.Darshan.Posix.Records() {
-		out.Posix = append(out.Posix, *r)
+	return collectArtifacts(m)
+}
+
+// TestStdioFastPathEquivalence asserts the STDIO half of the
+// zero-materialization contract on a real product path: a checkpoint
+// write + restore (buffered fwrite out, count-only fread back) produces
+// byte-identical Darshan records and virtual end time whether or not the
+// restore materializes and checksums the stream content.
+func TestStdioFastPathEquivalence(t *testing.T) {
+	runRoundTrip := func(verify bool) equivalenceArtifacts {
+		m := platform.NewGreendog(platform.Options{PreloadDarshan: true})
+		m.Env.VerifyContent = verify
+		vars := []tfio.Variable{
+			{Name: "conv/kernel", Bytes: 3 << 20},
+			{Name: "conv/bias", Bytes: 4096},
+			{Name: "dense/kernel", Bytes: 9<<20 + 137},
+		}
+		m.K.Spawn("restorer", func(th *sim.Thread) {
+			res, err := tfio.WriteCheckpoint(th, m.Env, platform.GreendogSSDPath+"/eq-ckpt", vars)
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			n, err := tfio.RestoreCheckpoint(th, m.Env, platform.GreendogSSDPath+"/eq-ckpt", vars)
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			if n != res.Bytes {
+				t.Errorf("restored %d bytes, wrote %d", n, res.Bytes)
+			}
+		})
+		if err := m.K.Run(); err != nil {
+			t.Fatal(err)
+		}
+		return collectArtifacts(m)
 	}
-	for _, r := range m.Darshan.Stdio.Records() {
-		out.Stdio = append(out.Stdio, *r)
+	lazy := runRoundTrip(false)
+	full := runRoundTrip(true)
+	if lazy.EndNs != full.EndNs {
+		t.Errorf("simulated end time diverged: lazy %d ns, materialized %d ns", lazy.EndNs, full.EndNs)
 	}
-	for _, r := range m.Darshan.DXT.Records() {
-		out.DXT = append(out.DXT, *r)
+	if !reflect.DeepEqual(lazy.Stdio, full.Stdio) {
+		t.Errorf("STDIO records diverged between lazy and materialized restores")
 	}
-	return out
+	if !reflect.DeepEqual(lazy.Posix, full.Posix) {
+		t.Errorf("POSIX records diverged between lazy and materialized restores")
+	}
+	if !reflect.DeepEqual(lazy.DXT, full.DXT) {
+		t.Errorf("DXT segments diverged between lazy and materialized restores")
+	}
+	if len(lazy.Stdio) == 0 {
+		t.Fatal("no STDIO records captured")
+	}
+	var freads int64
+	for i := range lazy.Stdio {
+		freads += lazy.Stdio[i].Counters[darshan.STDIO_READS]
+	}
+	if freads == 0 {
+		t.Fatal("restore exercised no STDIO freads")
+	}
 }
 
 // TestFastPathEquivalence asserts that the zero-materialization read path

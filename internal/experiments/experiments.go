@@ -37,6 +37,9 @@ type Config struct {
 	// mode exists to prove exactly that (see the equivalence test) — but
 	// runs are ~an order of magnitude slower in host time.
 	VerifyContent bool
+	// Ranks pins the distributed scaling experiment to one rank count
+	// (cmd/tfdarshan -ranks); 0 runs the default {1,2,4,8} sweep.
+	Ranks int
 }
 
 // DefaultConfig runs at paper scale.
@@ -97,6 +100,7 @@ func All() []Runner {
 		{"fig11a", "Malware with 16 threads", func(c Config) (Result, error) { return Fig11a(c) }},
 		{"fig11b", "Malware with small files staged to Optane", func(c Config) (Result, error) { return Fig11b(c) }},
 		{"fig12", "dstat disk activity across configurations", func(c Config) (Result, error) { return Fig12(c) }},
+		{"ranks", "distributed data-parallel scaling on shared Lustre", func(c Config) (Result, error) { return RanksExperiment(c) }},
 	}
 }
 

@@ -1,0 +1,73 @@
+package platform
+
+import (
+	"fmt"
+
+	"repro/internal/darshan"
+	"repro/internal/sim"
+	"repro/internal/storage"
+	"repro/internal/tf"
+	"repro/internal/vfs"
+)
+
+// Cluster is N Kebnekaise compute nodes sharing one Lustre file system:
+// the multi-rank evaluation platform of the distributed data-parallel
+// scenario. All nodes run inside one simulation kernel and mount the same
+// VFS, so every rank's opens contend for the shared MDS and every rank's
+// data reads share OSS bandwidth — cross-rank PFS contention shows up in
+// simulated device time exactly as single-node contention already does.
+type Cluster struct {
+	K      *sim.Kernel
+	FS     *vfs.FS
+	Lustre *storage.Lustre
+	// DataMount is the shared Lustre mount all ranks read from.
+	DataMount *vfs.Mount
+	// Nodes holds one Machine per rank, each with its own CPU pool, GPU,
+	// process image and (preloaded) Darshan runtime over the shared FS.
+	Nodes []*Machine
+}
+
+// Runtimes returns the per-rank Darshan runtimes in rank order.
+func (c *Cluster) Runtimes() []*darshan.Runtime {
+	out := make([]*darshan.Runtime, len(c.Nodes))
+	for i, n := range c.Nodes {
+		out[i] = n.Darshan
+	}
+	return out
+}
+
+// NewKebnekaiseCluster boots ranks compute nodes over one shared Lustre
+// mount. Each rank mirrors NewKebnekaise's single node (28 cores, 2xV100,
+// whole-run preloaded Darshan stamped with the rank), so a one-rank
+// cluster is the existing single-node platform, bit for bit.
+//
+// One modeling simplification: the VFS metadata cache is shared, so a file
+// warmed by one rank is warm for all. Ranks shard disjoint file sets, so
+// no experiment path observes the difference.
+func NewKebnekaiseCluster(ranks int, opts Options) *Cluster {
+	if ranks < 1 {
+		panic(fmt.Sprintf("platform: invalid rank count %d", ranks))
+	}
+	k := sim.NewKernel()
+	fs := vfs.New(vfs.DefaultConfig())
+	data, lustre := wireKebnekaiseLustre(fs)
+	c := &Cluster{K: k, FS: fs, Lustre: lustre, DataMount: data}
+
+	for r := 0; r < ranks; r++ {
+		proc, cpu, env, rt := bootNode(k, fs, kebnekaiseCores, tf.NewGPU(kebnekaiseGPU), opts)
+		rt.SetRank(r)
+		c.Nodes = append(c.Nodes, &Machine{
+			Name:      fmt.Sprintf("kebnekaise-rank%d", r),
+			K:         k,
+			CPU:       cpu,
+			FS:        fs,
+			Proc:      proc,
+			Env:       env,
+			Lustre:    lustre,
+			DataMount: data,
+			CkptMount: data,
+			Darshan:   rt,
+		})
+	}
+	return c
+}

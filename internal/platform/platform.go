@@ -77,17 +77,21 @@ type Options struct {
 	PreloadDarshan bool
 }
 
-func buildMachine(name string, cores int, gpu *tf.GPU, wire func(fs *vfs.FS) []*vfs.Mount, opts Options) (*Machine, []*vfs.Mount) {
-	k := sim.NewKernel()
-	fs := vfs.New(vfs.DefaultConfig())
-	mounts := wire(fs)
-
-	dcfg := darshan.DefaultConfig()
-	if opts.DarshanConfig != nil {
-		dcfg = *opts.DarshanConfig
+// darshanConfig resolves the instrumentation configuration.
+func (o Options) darshanConfig() darshan.Config {
+	if o.DarshanConfig != nil {
+		return *o.DarshanConfig
 	}
-	rt := darshan.NewRuntime(dcfg, k.Now())
+	return darshan.DefaultConfig()
+}
 
+// bootNode assembles the per-node half of a machine: a Darshan runtime, a
+// process image linked against libc over fs (with the runtime preloaded
+// when asked), a CPU pool and the TF environment. The single evaluation
+// machines and every rank of a cluster boot through this one path, so a
+// one-rank cluster node is constructed exactly like the single machine.
+func bootNode(k *sim.Kernel, fs *vfs.FS, cores int, gpu *tf.GPU, opts Options) (*dynload.Process, *sim.CPUSet, *tf.Env, *darshan.Runtime) {
+	rt := darshan.NewRuntime(opts.darshanConfig(), k.Now())
 	proc := dynload.NewProcess()
 	base := libc.NewLibrary(fs)
 	if opts.PreloadDarshan {
@@ -96,9 +100,15 @@ func buildMachine(name string, cores int, gpu *tf.GPU, wire func(fs *vfs.FS) []*
 		proc.LinkStartup(nil, base)
 	}
 	proc.Install(darshan.NewSharedLibrary(rt))
-
 	cpu := sim.NewCPUSet(cores)
-	env := tf.NewEnv(k, cpu, fs, proc, gpu)
+	return proc, cpu, tf.NewEnv(k, cpu, fs, proc, gpu), rt
+}
+
+func buildMachine(name string, cores int, gpu *tf.GPU, wire func(fs *vfs.FS) []*vfs.Mount, opts Options) (*Machine, []*vfs.Mount) {
+	k := sim.NewKernel()
+	fs := vfs.New(vfs.DefaultConfig())
+	mounts := wire(fs)
+	proc, cpu, env, rt := bootNode(k, fs, cores, gpu, opts)
 	return &Machine{
 		Name:    name,
 		K:       k,
@@ -135,18 +145,32 @@ func NewGreendog(opts Options) *Machine {
 	return m
 }
 
+// Kebnekaise node shape (§IV-A), shared by the single machine and every
+// cluster rank.
+const (
+	kebnekaiseCores = 28
+	kebnekaiseGPU   = "2xV100"
+)
+
+// wireKebnekaiseLustre mounts the shared Lustre file system. Every cold
+// open is one MDS RPC; directory lookups are client-cached after first
+// touch.
+func wireKebnekaiseLustre(fs *vfs.FS) (*vfs.Mount, *storage.Lustre) {
+	lustre := storage.NewLustre("lustre", storage.DefaultLustreParams())
+	data := fs.AddMount(&vfs.Mount{
+		Prefix: KebnekaiseLustre, Dev: lustre,
+		OpenMetaTrips: 1.0, DirMetaTrips: 1.0,
+	})
+	return data, lustre
+}
+
 // NewKebnekaise boots one compute node of the HPC cluster. Everything
 // lives on the shared Lustre file system.
 func NewKebnekaise(opts Options) *Machine {
 	var lustre *storage.Lustre
-	m, mounts := buildMachine("kebnekaise", 28, tf.NewGPU("2xV100"), func(fs *vfs.FS) []*vfs.Mount {
-		lustre = storage.NewLustre("lustre", storage.DefaultLustreParams())
-		data := fs.AddMount(&vfs.Mount{
-			Prefix: KebnekaiseLustre, Dev: lustre,
-			// Every cold open is one MDS RPC; directory lookups are
-			// client-cached after first touch.
-			OpenMetaTrips: 1.0, DirMetaTrips: 1.0,
-		})
+	m, mounts := buildMachine("kebnekaise", kebnekaiseCores, tf.NewGPU(kebnekaiseGPU), func(fs *vfs.FS) []*vfs.Mount {
+		var data *vfs.Mount
+		data, lustre = wireKebnekaiseLustre(fs)
 		return []*vfs.Mount{data, data, data}
 	}, opts)
 	m.Lustre = lustre

@@ -158,6 +158,49 @@ func (c *Cond) Broadcast(t *Thread) {
 	c.waiters = nil
 }
 
+// Barrier is a deterministic cyclic barrier: Await parks the caller until
+// all parties have arrived, then releases the whole generation together
+// (FIFO wakeup order). Reusable across generations, like a per-step
+// gradient-synchronization point.
+type Barrier struct {
+	mu      Mutex
+	cond    *Cond
+	parties int
+	count   int
+	gen     int
+}
+
+// NewBarrier returns a barrier for the given number of parties.
+func NewBarrier(parties int) *Barrier {
+	if parties < 1 {
+		panic("sim: barrier needs at least one party")
+	}
+	b := &Barrier{parties: parties}
+	b.cond = NewCond(&b.mu)
+	return b
+}
+
+// Await blocks until all parties arrive. A single-party barrier returns
+// immediately without parking or advancing virtual time.
+func (b *Barrier) Await(t *Thread) {
+	if b.parties == 1 {
+		return
+	}
+	b.mu.Lock(t)
+	gen := b.gen
+	b.count++
+	if b.count == b.parties {
+		b.count = 0
+		b.gen++
+		b.cond.Broadcast(t)
+	} else {
+		for gen == b.gen {
+			b.cond.Wait(t)
+		}
+	}
+	b.mu.Unlock(t)
+}
+
 // WaitGroup waits for a collection of simulated threads to finish.
 type WaitGroup struct {
 	count   int

@@ -213,3 +213,48 @@ func TestWaitGroupImmediateWait(t *testing.T) {
 		t.Fatal("thread blocked on empty WaitGroup")
 	}
 }
+
+func TestBarrierReleasesGenerationsTogether(t *testing.T) {
+	k := NewKernel()
+	bar := NewBarrier(3)
+	const rounds = 4
+	releases := make([][]int64, 3)
+	for i := 0; i < 3; i++ {
+		i := i
+		k.Spawn("party", func(th *Thread) {
+			for r := 0; r < rounds; r++ {
+				th.Sleep(Duration(i+1) * Millisecond) // staggered arrivals
+				bar.Await(th)
+				releases[i] = append(releases[i], th.Now())
+			}
+		})
+	}
+	if err := k.Run(); err != nil {
+		t.Fatal(err)
+	}
+	for r := 0; r < rounds; r++ {
+		if releases[0][r] != releases[1][r] || releases[1][r] != releases[2][r] {
+			t.Fatalf("round %d released at different times: %v %v %v",
+				r, releases[0][r], releases[1][r], releases[2][r])
+		}
+	}
+	// Each round releases when the slowest party arrives.
+	if releases[0][0] != 3*Millisecond {
+		t.Fatalf("first release at %d, want 3ms", releases[0][0])
+	}
+}
+
+func TestBarrierSinglePartyNoOp(t *testing.T) {
+	k := NewKernel()
+	bar := NewBarrier(1)
+	k.Spawn("solo", func(th *Thread) {
+		before := th.Now()
+		bar.Await(th)
+		if th.Now() != before {
+			t.Error("single-party barrier advanced time")
+		}
+	})
+	if err := k.Run(); err != nil {
+		t.Fatal(err)
+	}
+}

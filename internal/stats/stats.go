@@ -150,14 +150,23 @@ func Percentile(sorted []float64, p float64) float64 {
 	return sorted[lo]*(1-frac) + sorted[hi]*frac
 }
 
-// MedianInt64 returns the median of xs (0 when empty).
+// MedianInt64 returns the median of xs (0 when empty). Even-length
+// samples interpolate between the two middle elements like
+// Percentile(sorted, 50), truncated toward the lower middle when the
+// midpoint is not an integer — the closest an int64 path can get to the
+// float percentile, so the two reporting paths agree up to truncation.
 func MedianInt64(xs []int64) int64 {
 	if len(xs) == 0 {
 		return 0
 	}
 	sorted := append([]int64(nil), xs...)
 	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
-	return sorted[len(sorted)/2]
+	mid := len(sorted) / 2
+	if len(sorted)%2 == 1 {
+		return sorted[mid]
+	}
+	lo, hi := sorted[mid-1], sorted[mid]
+	return lo + (hi-lo)/2
 }
 
 // Point is one sample of a time series.

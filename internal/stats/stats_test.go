@@ -102,6 +102,24 @@ func TestMedianInt64(t *testing.T) {
 	}
 }
 
+func TestMedianInt64EvenLengthInterpolates(t *testing.T) {
+	// Regression: the even-length median used to return the upper middle
+	// element (sorted[len/2]) while Percentile(sorted, 50) interpolated, so
+	// the two reporting paths disagreed. Both must now agree.
+	xs := []int64{40, 10, 20, 30}
+	if m := MedianInt64(xs); m != 25 {
+		t.Fatalf("even median = %d, want 25", m)
+	}
+	if m := MedianInt64([]int64{10, 20}); m != 15 {
+		t.Fatalf("two-element median = %d, want 15", m)
+	}
+	// Agreement with the float percentile path on the same sample.
+	sorted := []float64{10, 20, 30, 40}
+	if p := Percentile(sorted, 50); p != 25 {
+		t.Fatalf("percentile = %v, want 25", p)
+	}
+}
+
 func TestSeries(t *testing.T) {
 	var s Series
 	s.Name = "dstat"

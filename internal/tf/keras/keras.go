@@ -59,6 +59,12 @@ type Callback interface {
 type FitOptions struct {
 	Steps     int
 	Callbacks []Callback
+	// AllReduce, when set, is invoked after each step's device compute —
+	// the gradient synchronization point of synchronous data-parallel
+	// training. The distributed driver passes a barrier + ring-allreduce
+	// cost model here; single-process fits leave it nil and are
+	// bit-identical to the pre-distributed training loop.
+	AllReduce func(t *sim.Thread, step int)
 }
 
 // History records a completed fit: per-step input-wait and compute times,
@@ -70,21 +76,37 @@ type History struct {
 	EndNs         int64
 	StepWaitNs    []int64
 	StepComputeNs []int64
-	SamplesSeen   int64
-	BytesSeen     int64
+	// StepSyncNs records per-step time inside the AllReduce hook (barrier
+	// wait + gradient exchange); nil for single-process fits.
+	StepSyncNs  []int64
+	SamplesSeen int64
+	BytesSeen   int64
 }
 
 // Duration returns the wall time of the fit in virtual nanoseconds.
 func (h *History) Duration() int64 { return h.EndNs - h.StartNs }
 
+// SyncNs returns the total time spent in gradient synchronization (0 for
+// single-process fits).
+func (h *History) SyncNs() int64 {
+	var n int64
+	for _, s := range h.StepSyncNs {
+		n += s
+	}
+	return n
+}
+
 // InputBoundFraction returns the fraction of total step time spent waiting
-// for input.
+// for input. All gradient-synchronization time — including the barrier
+// drain of an early-exhausted rank — counts toward the total for
+// distributed fits (StepSyncNs is nil otherwise).
 func (h *History) InputBoundFraction() float64 {
 	var wait, total int64
 	for i := range h.StepWaitNs {
 		wait += h.StepWaitNs[i]
 		total += h.StepWaitNs[i] + h.StepComputeNs[i]
 	}
+	total += h.SyncNs()
 	if total == 0 {
 		return 0
 	}
@@ -113,6 +135,19 @@ func (m *Model) Fit(t *sim.Thread, env *tf.Env, it *tfdata.Iterator, opts FitOpt
 		wait := t.Now() - waitStart
 		if !ok {
 			tm.End(t)
+			// A data-parallel rank whose iterator exhausts early must keep
+			// joining the collective, or its peers park at the gradient
+			// barrier forever; the shortfall stays visible as
+			// StepsRun < opts.Steps. The drained waits are still
+			// synchronization time, so they land in StepSyncNs and keep
+			// SyncNs/busy-time accounting truthful.
+			if opts.AllReduce != nil {
+				for s := step; s <= opts.Steps; s++ {
+					syncStart := t.Now()
+					opts.AllReduce(t, s)
+					h.StepSyncNs = append(h.StepSyncNs, t.Now()-syncStart)
+				}
+			}
 			break
 		}
 		computeStart := t.Now()
@@ -120,11 +155,20 @@ func (m *Model) Fit(t *sim.Thread, env *tf.Env, it *tfdata.Iterator, opts FitOpt
 			env.GPU.Launch(t, m.Name+"/fused_step", m.StepTime(len(batch.Samples)))
 		}
 		compute := t.Now() - computeStart
+		var sync int64
+		if opts.AllReduce != nil {
+			syncStart := t.Now()
+			opts.AllReduce(t, step)
+			sync = t.Now() - syncStart
+		}
 		tm.End(t)
 
 		h.StepsRun++
 		h.StepWaitNs = append(h.StepWaitNs, wait)
 		h.StepComputeNs = append(h.StepComputeNs, compute)
+		if opts.AllReduce != nil {
+			h.StepSyncNs = append(h.StepSyncNs, sync)
+		}
 		h.SamplesSeen += int64(len(batch.Samples))
 		h.BytesSeen += batch.Bytes
 		for _, cb := range opts.Callbacks {

@@ -70,6 +70,62 @@ func TestFitStopsAtDatasetEnd(t *testing.T) {
 	})
 }
 
+func TestFitExhaustedRankKeepsJoiningCollective(t *testing.T) {
+	// Two lockstep trainers share a 2-party gradient barrier, but one
+	// iterator exhausts after 2 of the 5 requested steps. The short rank
+	// must keep joining the collective for its remaining slots — otherwise
+	// the peer parks at the barrier forever and the kernel deadlocks.
+	m := platform.NewGreendog(platform.Options{})
+	dsShort := buildStream(m, 16, 1000).Map(workload.StreamMap, 2).Batch(8)
+	paths := make([]string, 40)
+	for i := range paths {
+		p := platform.GreendogHDDPath + "/long" + string(rune('a'+i%26)) + string(rune('a'+i/26))
+		m.FS.CreateFile(p, 1000)
+		paths[i] = p
+	}
+	dsLong := tfdata.FromFiles(m.Env, paths).Map(workload.StreamMap, 2).Batch(8)
+
+	bar := sim.NewBarrier(2)
+	await := func(th *sim.Thread, _ int) { bar.Await(th) }
+
+	histories := make([]*keras.History, 2)
+	for i, ds := range []*tfdata.Dataset{dsShort, dsLong} {
+		i, ds := i, ds
+		m.K.Spawn("trainer", func(th *sim.Thread) {
+			it, err := ds.MakeIterator()
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			h, err := workload.MalwareCNN().Fit(th, m.Env, it, keras.FitOptions{
+				Steps: 5, AllReduce: await,
+			})
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			histories[i] = h
+		})
+	}
+	if err := m.K.Run(); err != nil {
+		t.Fatalf("lockstep fit deadlocked: %v", err)
+	}
+	if histories[0].StepsRun != 2 {
+		t.Fatalf("short rank ran %d steps, want 2", histories[0].StepsRun)
+	}
+	if histories[1].StepsRun != 5 {
+		t.Fatalf("long rank ran %d steps, want 5", histories[1].StepsRun)
+	}
+	// The drained barrier waits count as synchronization, not busy time:
+	// the short rank records one sync sample per requested step.
+	if got := len(histories[0].StepSyncNs); got != 5 {
+		t.Fatalf("short rank recorded %d sync samples, want 5", got)
+	}
+	if histories[0].SyncNs() <= 0 {
+		t.Fatal("short rank's barrier waits were not accounted as sync time")
+	}
+}
+
 func TestTensorBoardCallbackOpensAndClosesWindow(t *testing.T) {
 	m := platform.NewGreendog(platform.Options{})
 	ds := buildStream(m, 80, 5000).Map(workload.StreamMap, 4).Batch(8).Prefetch(2)

@@ -1,0 +1,126 @@
+package tfdata
+
+import (
+	"fmt"
+	"reflect"
+	"sort"
+	"testing"
+)
+
+func pathList(n int) []string {
+	out := make([]string, n)
+	for i := range out {
+		out[i] = fmt.Sprintf("/data/f-%03d", i)
+	}
+	return out
+}
+
+func TestShardDisjointCover(t *testing.T) {
+	paths := pathList(10)
+	var union []string
+	for rank := 0; rank < 4; rank++ {
+		shard := FromFiles(nil, paths).Shard(4, rank).Paths()
+		// Rank r gets elements r, r+4, r+8, ...
+		for i, p := range shard {
+			if want := paths[rank+4*i]; p != want {
+				t.Fatalf("rank %d shard[%d] = %s, want %s", rank, i, p, want)
+			}
+		}
+		if got := ShardLen(len(paths), 4, rank); got != len(shard) {
+			t.Fatalf("ShardLen(10,4,%d) = %d, Shard kept %d", rank, got, len(shard))
+		}
+		union = append(union, shard...)
+	}
+	sort.Strings(union)
+	sorted := append([]string(nil), paths...)
+	sort.Strings(sorted)
+	if !reflect.DeepEqual(union, sorted) {
+		t.Fatalf("shards do not cover the dataset: %v", union)
+	}
+}
+
+func TestShardSingleIsIdentity(t *testing.T) {
+	paths := pathList(7)
+	got := FromFiles(nil, paths).Shard(1, 0).Paths()
+	if !reflect.DeepEqual(got, paths) {
+		t.Fatalf("shard(1,0) changed the order: %v", got)
+	}
+}
+
+func TestShardInvalidArgsPanic(t *testing.T) {
+	for _, args := range [][2]int{{0, 0}, {4, -1}, {4, 4}} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("shard(%d,%d) did not panic", args[0], args[1])
+				}
+			}()
+			FromFiles(nil, pathList(4)).Shard(args[0], args[1])
+		}()
+	}
+}
+
+func TestRepeatConcatenatesEpochs(t *testing.T) {
+	paths := pathList(3)
+	got := FromFiles(nil, paths).Repeat(3).Paths()
+	if len(got) != 9 {
+		t.Fatalf("repeat(3) length = %d", len(got))
+	}
+	for i, p := range got {
+		if p != paths[i%3] {
+			t.Fatalf("repeat order broken at %d: %s", i, p)
+		}
+	}
+	if recovered := func() (r any) {
+		defer func() { r = recover() }()
+		FromFiles(nil, paths).Repeat(0)
+		return nil
+	}(); recovered == nil {
+		t.Fatal("repeat(0) did not panic")
+	}
+}
+
+func TestInterleaveBlockCyclicOrder(t *testing.T) {
+	// 6 files, 2 streams of 3, block length 2:
+	// streams [0 1 2] [3 4 5] -> 0 1 | 3 4 | 2 | 5.
+	paths := pathList(6)
+	got := FromFiles(nil, paths).Interleave(2, 2).Paths()
+	want := []string{paths[0], paths[1], paths[3], paths[4], paths[2], paths[5]}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("interleave order = %v, want %v", got, want)
+	}
+}
+
+func TestInterleavePreservesElements(t *testing.T) {
+	paths := pathList(11)
+	got := FromFiles(nil, paths).Interleave(4, 3).Paths()
+	if len(got) != len(paths) {
+		t.Fatalf("interleave changed length: %d", len(got))
+	}
+	a := append([]string(nil), got...)
+	b := append([]string(nil), paths...)
+	sort.Strings(a)
+	sort.Strings(b)
+	if !reflect.DeepEqual(a, b) {
+		t.Fatalf("interleave lost elements: %v", got)
+	}
+	// Degenerate cycle lengths are identity.
+	if one := FromFiles(nil, paths).Interleave(1, 5).Paths(); !reflect.DeepEqual(one, paths) {
+		t.Fatalf("interleave(1, n) changed the order")
+	}
+}
+
+func TestShardRepeatInterleaveCompose(t *testing.T) {
+	// The ops chain fluently and deterministically: two identical chains
+	// yield identical orders.
+	build := func() []string {
+		return FromFiles(nil, pathList(24)).Shard(2, 1).Repeat(2).Interleave(3, 2).Paths()
+	}
+	a, b := build(), build()
+	if !reflect.DeepEqual(a, b) {
+		t.Fatal("op chain is not deterministic")
+	}
+	if len(a) != 24 {
+		t.Fatalf("chain length = %d, want 24 (12-file shard x 2 epochs)", len(a))
+	}
+}

@@ -82,6 +82,110 @@ func (d *Dataset) Shuffle(seed int64) *Dataset {
 	return d
 }
 
+// checkShardArgs panics on arguments tf.data would reject at graph
+// construction, shared by Shard and ShardLen.
+func checkShardArgs(numShards, index int) {
+	if numShards < 1 || index < 0 || index >= numShards {
+		panic(fmt.Sprintf("tfdata: invalid shard(%d, %d)", numShards, index))
+	}
+}
+
+// ShardLen returns the number of elements Shard(numShards, index) keeps
+// from an n-element dataset — the single source of truth drivers use to
+// size per-rank work without building the dataset first. Arguments Shard
+// would reject panic here too.
+func ShardLen(n, numShards, index int) int {
+	checkShardArgs(numShards, index)
+	if index >= n {
+		return 0
+	}
+	return (n - index + numShards - 1) / numShards
+}
+
+// Shard keeps every numShards-th element starting at index — tf.data's
+// Dataset.shard(num_shards, index) semantics: element i survives iff
+// i % numShards == index. Data-parallel ranks shard the same shuffled
+// file order (same seed on every rank) so the shards are disjoint and
+// jointly cover the dataset. Invalid arguments panic, like tf.data's
+// graph-construction-time errors.
+func (d *Dataset) Shard(numShards, index int) *Dataset {
+	checkShardArgs(numShards, index)
+	if numShards == 1 {
+		return d
+	}
+	kept := make([]string, 0, ShardLen(len(d.paths), numShards, index))
+	for i := index; i < len(d.paths); i += numShards {
+		kept = append(kept, d.paths[i])
+	}
+	d.paths = kept
+	return d
+}
+
+// Repeat concatenates count passes over the dataset's current file order
+// (dataset.repeat(count) for a count-epoch run; the unbounded form is not
+// representable in a finite simulation, so count must be >= 1).
+func (d *Dataset) Repeat(count int) *Dataset {
+	if count < 1 {
+		panic(fmt.Sprintf("tfdata: invalid repeat(%d)", count))
+	}
+	if count == 1 {
+		return d
+	}
+	base := d.paths
+	out := make([]string, 0, len(base)*count)
+	for i := 0; i < count; i++ {
+		out = append(out, base...)
+	}
+	d.paths = out
+	return d
+}
+
+// Interleave rearranges the source into cycleLength block-cyclic streams:
+// the current file order is split into cycleLength contiguous
+// sub-sequences and the output pulls blockLength elements from each in
+// round-robin — the deterministic output order of tf.data's
+// interleave(cycle_length, block_length) over per-stream file sequences,
+// the per-worker access-stream shape Clairvoyant Prefetching exploits.
+// The rearranged source feeds the same map/batch/prefetch sim-thread
+// stages as any other pipeline.
+func (d *Dataset) Interleave(cycleLength, blockLength int) *Dataset {
+	if cycleLength < 1 || blockLength < 1 {
+		panic(fmt.Sprintf("tfdata: invalid interleave(%d, %d)", cycleLength, blockLength))
+	}
+	n := len(d.paths)
+	if cycleLength > n {
+		cycleLength = n
+	}
+	if cycleLength <= 1 {
+		return d
+	}
+	// Contiguous split, longer streams first (sizes differ by at most one).
+	streams := make([][]string, cycleLength)
+	base, extra := n/cycleLength, n%cycleLength
+	pos := 0
+	for s := range streams {
+		sz := base
+		if s < extra {
+			sz++
+		}
+		streams[s] = d.paths[pos : pos+sz]
+		pos += sz
+	}
+	out := make([]string, 0, n)
+	for len(out) < n {
+		for s := range streams {
+			take := blockLength
+			if take > len(streams[s]) {
+				take = len(streams[s])
+			}
+			out = append(out, streams[s][:take]...)
+			streams[s] = streams[s][take:]
+		}
+	}
+	d.paths = out
+	return d
+}
+
 // Map sets the capture function and its parallelism (num_parallel_calls;
 // AUTOTUNE resolves to the host core count at iterator creation).
 func (d *Dataset) Map(fn MapFunc, numParallelCalls int) *Dataset {

@@ -101,14 +101,18 @@ func WriteCheckpoint(t *sim.Thread, env *tf.Env, prefix string, vars []Variable)
 
 // RestoreCheckpoint reads a checkpoint back (index then data), used to
 // validate the writer and to model restart-from-checkpoint workloads.
+// The reads go through the buffered STDIO stream layer, mirroring the
+// writer: a checkpoint round-trip is fully visible in Darshan's STDIO
+// module and invisible to its POSIX module — the same asymmetry the
+// paper's Fig. 6 shows for the write side.
 func RestoreCheckpoint(t *sim.Thread, env *tf.Env, prefix string, vars []Variable) (int64, error) {
 	tm := env.Trace(t, "RestoreV2")
 	defer tm.End(t)
-	n1, err := ReadFile(t, env, prefix+".index")
+	n1, err := ReadFileBuffered(t, env, prefix+".index")
 	if err != nil {
 		return 0, fmt.Errorf("tfio: restore: %w", err)
 	}
-	n2, err := ReadFile(t, env, prefix+".data-00000-of-00001")
+	n2, err := ReadFileBuffered(t, env, prefix+".data-00000-of-00001")
 	if err != nil {
 		return 0, fmt.Errorf("tfio: restore: %w", err)
 	}

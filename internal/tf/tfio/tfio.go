@@ -76,16 +76,85 @@ func verifiedPreadLoop(t *sim.Thread, env *tf.Env, path string, fd int, chunk in
 		sum = vfs.ChecksumUpdate(sum, buf[:n])
 		total += int64(n)
 	}
+	return total, verifyChecksum(env, path, sum, total)
+}
+
+// verifyChecksum compares a reader's running checksum over [0, total)
+// against the VFS content generator's — the single verification tail
+// shared by the POSIX and STDIO verify-content read loops.
+func verifyChecksum(env *tf.Env, path string, sum uint64, total int64) error {
 	ino, ok := env.FS.Lookup(path)
 	if !ok {
 		// The open succeeded, so the file existed; losing it here (e.g. a
 		// concurrent unlink) must not silently skip the verification.
-		return total, fmt.Errorf("verify content %s: inode vanished before checksum", path)
+		return fmt.Errorf("verify content %s: inode vanished before checksum", path)
 	}
 	if want := ino.ContentChecksum(0, total); want != sum {
-		return total, fmt.Errorf("verify content %s: checksum %#x, want %#x", path, sum, want)
+		return fmt.Errorf("verify content %s: checksum %#x, want %#x", path, sum, want)
 	}
-	return total, nil
+	return nil
+}
+
+// StdioReadChunk is the fread granularity of the buffered whole-file
+// reader, matching TF's buffered input stream default.
+const StdioReadChunk = 256 << 10
+
+// ReadFileBuffered reads the whole file through the STDIO stream layer
+// (fopen + an fread loop until a short/zero read signals EOF + fclose),
+// the path TF's buffered readers take. Darshan's STDIO module sees these
+// reads; its POSIX module does not (stream flushes bypass the PLT).
+//
+// Like ReadFile, the loop issues count-only freads by default — the
+// zero-materialization fast path — and Env.VerifyContent restores
+// materializing freads plus a checksum round-trip against the VFS
+// content generator.
+func ReadFileBuffered(t *sim.Thread, env *tf.Env, path string) (int64, error) {
+	tm := env.Trace(t, "ReadFileBuffered")
+	defer tm.End(t)
+	st, err := env.Libc.Fopen(t, path, "r")
+	if err != nil {
+		return 0, fmt.Errorf("tfio: %w", err)
+	}
+	defer env.Libc.Fclose(t, st)
+	if env.VerifyContent {
+		total, err := verifiedFreadLoop(t, env, path, st, StdioReadChunk)
+		if err != nil {
+			return total, fmt.Errorf("tfio: %w", err)
+		}
+		return total, nil
+	}
+	var total int64
+	for {
+		n, err := env.Libc.FreadDiscard(t, st, StdioReadChunk)
+		if err != nil {
+			return total, fmt.Errorf("tfio: %w", err)
+		}
+		if n == 0 {
+			return total, nil
+		}
+		total += int64(n)
+	}
+}
+
+// verifiedFreadLoop is the VerifyContent whole-file stream read:
+// materializing freads with the same chunking as the fast path, feeding a
+// running checksum that must match the VFS generator's over the same range.
+func verifiedFreadLoop(t *sim.Thread, env *tf.Env, path string, st *vfs.Stream, chunk int) (int64, error) {
+	buf := env.ScratchBuf(t, chunk)
+	sum := vfs.ChecksumSeed()
+	var total int64
+	for {
+		n, err := env.Libc.Fread(t, st, buf)
+		if err != nil {
+			return total, err
+		}
+		if n == 0 {
+			break
+		}
+		sum = vfs.ChecksumUpdate(sum, buf[:n])
+		total += int64(n)
+	}
+	return total, verifyChecksum(env, path, sum, total)
 }
 
 // WritableFile is TF's buffered writable file: appends go through STDIO

@@ -3,6 +3,7 @@ package tfio
 import (
 	"testing"
 
+	"repro/internal/darshan"
 	"repro/internal/platform"
 	"repro/internal/sim"
 )
@@ -186,6 +187,39 @@ func TestCheckpointRestoreReadsBack(t *testing.T) {
 			t.Fatalf("restored %d bytes, wrote %d", n, res.Bytes)
 		}
 	})
+}
+
+func TestRestoreCheckpointReadsOnStdioLayer(t *testing.T) {
+	// The checkpoint round-trip is symmetric: writes go through fwrite and
+	// restores through fread, so Darshan's STDIO module sees both sides and
+	// its POSIX module sees neither.
+	m := greendog()
+	vars := []Variable{{Name: "w", Bytes: 1 << 20}, {Name: "b", Bytes: 4096}}
+	run(t, m, func(th *sim.Thread) {
+		if _, err := WriteCheckpoint(th, m.Env, platform.GreendogSSDPath+"/sckpt", vars); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := RestoreCheckpoint(th, m.Env, platform.GreendogSSDPath+"/sckpt", vars); err != nil {
+			t.Fatal(err)
+		}
+	})
+	var freads, fbytes int64
+	for _, r := range m.Darshan.Stdio.Records() {
+		freads += r.Counters[darshan.STDIO_READS]
+		fbytes += r.Counters[darshan.STDIO_BYTES_READ]
+	}
+	if freads == 0 {
+		t.Fatal("restore produced no STDIO freads")
+	}
+	wantBytes := int64(1<<20) + 4096 + 2*256 + int64(len("w")+len("b")+4*8)
+	if fbytes != wantBytes {
+		t.Fatalf("stdio bytes read = %d, want %d", fbytes, wantBytes)
+	}
+	for _, r := range m.Darshan.Posix.Records() {
+		if r.Counters[darshan.POSIX_READS] != 0 {
+			t.Fatalf("restore leaked %d reads into the POSIX module", r.Counters[darshan.POSIX_READS])
+		}
+	}
 }
 
 // alexNetLikeVars builds a 16-tensor, ~233MB variable set.

@@ -13,8 +13,8 @@ import (
 	"fmt"
 	"math"
 	"math/rand"
-	"sort"
 
+	"repro/internal/stats"
 	"repro/internal/vfs"
 )
 
@@ -43,11 +43,10 @@ func (d *Dataset) Total() int64 {
 	return t
 }
 
-// Median returns the realized median file size.
+// Median returns the realized median file size (interpolated for
+// even-length populations, like every other median in the repo).
 func (d *Dataset) Median() int64 {
-	sorted := append([]int64(nil), d.Sizes...)
-	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
-	return sorted[len(sorted)/2]
+	return stats.MedianInt64(d.Sizes)
 }
 
 // CountBelow returns how many files are smaller than limit and their total
