@@ -1,0 +1,26 @@
+GO ?= go
+# BENCH_N names the committed perf-trajectory snapshot for this PR series.
+BENCH_OUT ?= BENCH_3.json
+BENCH_SCALE ?= 0.2
+
+.PHONY: build test race bench bench-json
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) vet ./...
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+bench:
+	TFDARSHAN_BENCH_SCALE=$(BENCH_SCALE) $(GO) test -run '^$$' -bench . -benchtime 1x -benchmem .
+
+# bench-json runs the benchmark suite once per artifact and emits the
+# machine-readable perf snapshot (per-artifact ns/op, allocs/op, headline
+# metrics). CI uploads it; committing it as BENCH_<n>.json records the
+# perf trajectory across PRs.
+bench-json:
+	$(GO) run ./tools/benchjson -o $(BENCH_OUT) -scale $(BENCH_SCALE)

@@ -108,6 +108,35 @@ func BenchmarkFig11bStaging(b *testing.B) { runArtifact(b, "fig11b") }
 // activity: staged finishes first, 16-thread run last).
 func BenchmarkFig12DstatComparison(b *testing.B) { runArtifact(b, "fig12") }
 
+// BenchmarkSuiteSerial regenerates every artifact back to back on one
+// worker — the end-to-end wall-clock cost of the full evaluation.
+func BenchmarkSuiteSerial(b *testing.B) { runSuite(b, 1) }
+
+// BenchmarkSuiteParallel regenerates every artifact through the parallel
+// harness (one worker per core). Kernels share nothing, so the outputs are
+// byte-identical to BenchmarkSuiteSerial; the ratio of the two ns/op
+// values is the wall-clock speedup the host's cores buy.
+func BenchmarkSuiteParallel(b *testing.B) { runSuite(b, -1) }
+
+func runSuite(b *testing.B, parallel int) {
+	b.Helper()
+	cfg := benchConfig()
+	cfg.Parallel = parallel
+	var ids []string
+	for _, r := range experiments.All() {
+		ids = append(ids, r.ID)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.RunAll(cfg, ids); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+	b.ReportMetric(float64(len(ids)), "artifacts")
+	b.ReportMetric(float64(experiments.Parallelism(parallel)), "workers")
+}
+
 // BenchmarkRanksScaling runs the distributed data-parallel rank sweep
 // ({1,2,4,8} ranks sharing one Lustre system): per-rank Darshan logs,
 // cross-rank merge, aggregate bandwidth and straggler spread. The merge

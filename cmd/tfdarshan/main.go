@@ -32,6 +32,7 @@ func main() {
 	seed := fs.Int64("seed", 0, "shuffle seed perturbation")
 	verify := fs.Bool("verify", false, "materialize and checksum all read content (slow; validates the zero-materialization fast path)")
 	ranks := fs.Int("ranks", 0, "pin the distributed 'ranks' experiment to one rank count (0 = sweep 1,2,4,8)")
+	parallel := fs.Int("parallel", 1, "simulation kernels to run concurrently on host CPUs (0 = one per core; results are byte-identical at any setting)")
 	outDir := fs.String("out", ".", "artifact output directory")
 	if err := fs.Parse(os.Args[2:]); err != nil {
 		os.Exit(2)
@@ -41,6 +42,11 @@ func main() {
 		os.Exit(2)
 	}
 	cfg := experiments.Config{Scale: *scale, Seed: *seed, VerifyContent: *verify, Ranks: *ranks}
+	if *parallel == 0 {
+		cfg.Parallel = -1 // one worker per core
+	} else {
+		cfg.Parallel = *parallel
+	}
 
 	switch cmd {
 	case "artifacts":
@@ -69,19 +75,16 @@ func main() {
 			os.Exit(2)
 		}
 		for _, id := range ids {
-			runner, ok := experiments.Find(id)
-			if !ok {
+			if _, ok := experiments.Find(id); !ok {
 				fmt.Fprintf(os.Stderr, "unknown experiment %q (try: tfdarshan list)\n", id)
 				os.Exit(1)
 			}
-			start := time.Now()
-			res, err := runner.Run(cfg)
-			if err != nil {
-				fmt.Fprintf(os.Stderr, "%s: %v\n", id, err)
-				os.Exit(1)
-			}
-			fmt.Printf("==== %s — %s (scale %.3f, %.1fs real) ====\n",
-				runner.ID, runner.Description, cfg.Scale, time.Since(start).Seconds())
+		}
+		start := time.Now()
+		print := func(id string, res experiments.Result) {
+			runner, _ := experiments.Find(id)
+			fmt.Printf("==== %s — %s (scale %.3f) ====\n",
+				runner.ID, runner.Description, cfg.Scale)
 			if cmd == "run" {
 				fmt.Println(res.Render())
 			}
@@ -89,6 +92,29 @@ func main() {
 			fmt.Print(experiments.RenderMetrics(res.Metrics()))
 			fmt.Println()
 		}
+		if experiments.Parallelism(cfg.Parallel) <= 1 {
+			// Serial: stream each artifact as it completes.
+			for _, id := range ids {
+				runner, _ := experiments.Find(id)
+				res, err := runner.Run(cfg)
+				if err != nil {
+					fmt.Fprintf(os.Stderr, "%s: %v\n", id, err)
+					os.Exit(1)
+				}
+				print(id, res)
+			}
+		} else {
+			results, err := experiments.RunAll(cfg, ids)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "%v\n", err)
+				os.Exit(1)
+			}
+			for i, res := range results {
+				print(ids[i], res)
+			}
+		}
+		fmt.Printf("ran %d artifact(s) in %.1fs real (parallel=%d)\n",
+			len(ids), time.Since(start).Seconds(), experiments.Parallelism(cfg.Parallel))
 	default:
 		usage()
 		os.Exit(2)
@@ -98,12 +124,16 @@ func main() {
 func usage() {
 	fmt.Fprintln(os.Stderr, `usage:
   tfdarshan list
-  tfdarshan run       [-scale f] [-seed n] [-verify] [-ranks n] <id>...|all
-  tfdarshan metrics   [-scale f] [-seed n] [-verify] [-ranks n] <id>...|all
+  tfdarshan run       [-scale f] [-seed n] [-verify] [-ranks n] [-parallel n] <id>...|all
+  tfdarshan metrics   [-scale f] [-seed n] [-verify] [-ranks n] [-parallel n] <id>...|all
   tfdarshan artifacts [-scale f] [-out dir] <imagenet|malware>
 
 the "ranks" experiment shards ImageNet over N data-parallel ranks on one
-shared Lustre system; -ranks pins it to a single rank count`)
+shared Lustre system; -ranks pins it to a single rank count
+
+-parallel runs independent artifacts (and sweep points inside ranks, fig5
+and fig12) concurrently on host CPUs; 0 uses one worker per core. Outputs
+are byte-identical to a serial run — kernels share nothing.`)
 }
 
 // writeArtifacts runs a profiled case study and writes the Darshan log,

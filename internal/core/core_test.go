@@ -194,8 +194,8 @@ func TestDarshanPlaneInXSpace(t *testing.T) {
 			t.Fatalf("line %s has %d events", line.Name, len(line.Events))
 		}
 		last := line.Events[len(line.Events)-1]
-		if last.Metadata["length"] != "0" {
-			t.Fatalf("final event length = %s, want 0", last.Metadata["length"])
+		if v, _ := last.Arg("length"); v != "0" {
+			t.Fatalf("final event length = %s, want 0", v)
 		}
 	}
 }

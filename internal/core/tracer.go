@@ -177,15 +177,15 @@ func (d *DarshanTracer) populateTimelines(plane *profiler.XPlane, analysis *Sess
 				if seg.Start < d.startSnap.Time || seg.End > d.stopSnap.Time {
 					continue
 				}
-				events = append(events, profiler.XEvent{
+				ev := profiler.XEvent{
 					Name:    op,
 					StartNs: jobStartOffset(seg.Start),
 					DurNs:   jobStartOffset(seg.End) - jobStartOffset(seg.Start),
-					Metadata: map[string]string{
-						"offset": fmt.Sprintf("%d", seg.Offset),
-						"length": fmt.Sprintf("%d", seg.Length),
-					},
-				})
+				}
+				// Typed args: no per-segment map or formatted strings;
+				// renderers materialize them on demand.
+				ev.SetIO(seg.Offset, seg.Length)
+				events = append(events, ev)
 			}
 		}
 		addSegs(rec.ReadSegs, "pread")

@@ -1,8 +1,9 @@
 package darshan
 
 import (
+	"cmp"
 	"hash/fnv"
-	"sort"
+	"slices"
 
 	"repro/internal/sim"
 )
@@ -215,23 +216,44 @@ func (s *Snapshot) StdioByID(id uint64) (StdioRecord, bool) {
 }
 
 // finalizeAccessCounters fills the ACCESS1..4 counters from the common
-// access-size table, largest counts first (ties broken by smaller size),
-// as darshan-core does during shutdown reduction.
+// access-size table (the inline array plus the overflow map), largest
+// counts first (ties broken by smaller size), as darshan-core does during
+// shutdown reduction.
 func finalizeAccessCounters(rec *PosixRecord) {
-	type kv struct {
-		size  int64
-		count int64
+	// Stack buffer for the common case (≤4 inline sizes, no overflow map):
+	// finalization runs per record per snapshot, so it must not allocate.
+	var stack [8]accessEntry
+	pairs := stack[:0]
+	if n := rec.accessInlineN + len(rec.accessSizes); n > len(stack) {
+		pairs = make([]accessEntry, 0, n)
 	}
-	pairs := make([]kv, 0, len(rec.accessSizes))
+	pairs = append(pairs, rec.accessInline[:rec.accessInlineN]...)
 	for s, c := range rec.accessSizes {
-		pairs = append(pairs, kv{s, c})
+		pairs = append(pairs, accessEntry{size: s, count: c})
 	}
-	sort.Slice(pairs, func(i, j int) bool {
-		if pairs[i].count != pairs[j].count {
-			return pairs[i].count > pairs[j].count
+	// Order by (count desc, size asc): sizes are unique keys, so the order
+	// is total and deterministic. Insertion sort for the common tiny table
+	// (sort.Slice's reflection-based swapper would allocate); generic
+	// slices.SortFunc (also allocation-free) past that, where O(n²) would
+	// bite files with many distinct access sizes.
+	if len(pairs) <= 16 {
+		for i := 1; i < len(pairs); i++ {
+			p := pairs[i]
+			j := i - 1
+			for j >= 0 && (pairs[j].count < p.count || (pairs[j].count == p.count && pairs[j].size > p.size)) {
+				pairs[j+1] = pairs[j]
+				j--
+			}
+			pairs[j+1] = p
 		}
-		return pairs[i].size < pairs[j].size
-	})
+	} else {
+		slices.SortFunc(pairs, func(a, b accessEntry) int {
+			if a.count != b.count {
+				return cmp.Compare(b.count, a.count)
+			}
+			return cmp.Compare(a.size, b.size)
+		})
+	}
 	for i := 0; i < 4; i++ {
 		var s, c int64
 		if i < len(pairs) {

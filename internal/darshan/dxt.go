@@ -70,6 +70,24 @@ func (m *DXTModule) copyRecords() []DXTRecord {
 	return out
 }
 
+// appendSeg appends with explicit geometric growth from a useful floor:
+// per-operation appends skip Go's 1→2→4 capacity ramp, so a record tracing
+// thousands of segments pays a handful of grow-copies instead of one tiny
+// reallocation per early operation, and the steady-state append is
+// allocation-free.
+func appendSeg(segs []Segment, s Segment) []Segment {
+	if len(segs) == cap(segs) {
+		newCap := cap(segs) * 2
+		if newCap < 16 {
+			newCap = 16
+		}
+		grown := make([]Segment, len(segs), newCap)
+		copy(grown, segs)
+		segs = grown
+	}
+	return append(segs, s)
+}
+
 func (m *DXTModule) recordFor(id uint64) *DXTRecord {
 	if rec, ok := m.records[id]; ok {
 		return rec
@@ -98,7 +116,7 @@ func (m *DXTModule) addRead(t *sim.Thread, id uint64, offset, length int64, star
 	if m.rt.cfg.DXTSegCPU > 0 {
 		t.Sleep(m.rt.cfg.DXTSegCPU)
 	}
-	rec.ReadSegs = append(rec.ReadSegs, Segment{Offset: offset, Length: length, Start: start, End: end, TID: t.ID()})
+	rec.ReadSegs = appendSeg(rec.ReadSegs, Segment{Offset: offset, Length: length, Start: start, End: end, TID: t.ID()})
 }
 
 func (m *DXTModule) addWrite(t *sim.Thread, id uint64, offset, length int64, start, end float64) {
@@ -116,5 +134,5 @@ func (m *DXTModule) addWrite(t *sim.Thread, id uint64, offset, length int64, sta
 	if m.rt.cfg.DXTSegCPU > 0 {
 		t.Sleep(m.rt.cfg.DXTSegCPU)
 	}
-	rec.WriteSegs = append(rec.WriteSegs, Segment{Offset: offset, Length: length, Start: start, End: end, TID: t.ID()})
+	rec.WriteSegs = appendSeg(rec.WriteSegs, Segment{Offset: offset, Length: length, Start: start, End: end, TID: t.ID()})
 }

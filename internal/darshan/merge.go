@@ -189,7 +189,7 @@ func Merge(perRank []*Snapshot) *MergedLog {
 		rec := &out.Posix[posixIdx[id]]
 		rec.accessSizes = table
 		finalizeAccessCounters(rec)
-		rec.accessSizes = nil
+		rec.clearAccessState()
 	}
 
 	// Global timeline order: start time, then fully deterministic

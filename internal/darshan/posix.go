@@ -6,6 +6,18 @@ import (
 	"repro/internal/vfs"
 )
 
+// accessEntry is one (size, count) pair of a record's access-size table.
+type accessEntry struct {
+	size  int64
+	count int64
+}
+
+// accessInlineCap is the number of distinct access sizes tracked without a
+// map. Darshan reports the top four (ACCESS1..4) and most files see at
+// most a handful of distinct sizes (a full-file read plus the EOF-probing
+// zero read), so the common case never hashes.
+const accessInlineCap = 4
+
 // PosixRecord is one file's POSIX-module record: the counter arrays that
 // darshan-parser reports and the internal access-pattern state Darshan
 // keeps per file at runtime.
@@ -15,7 +27,13 @@ type PosixRecord struct {
 	Counters  [PosixNumCounters]int64
 	FCounters [PosixNumFCounters]float64
 
-	accessSizes map[int64]int64
+	// accessInline fronts accessSizes: the first accessInlineCap distinct
+	// sizes are counted in this embedded array; the map is only allocated
+	// once a file exceeds that, so the per-operation bump is zero-alloc
+	// and hash-free for typical files.
+	accessInline  [accessInlineCap]accessEntry
+	accessInlineN int
+	accessSizes   map[int64]int64
 	// lastByteRead/Written hold the offset of the last byte touched, the
 	// state behind Darshan's sequential/consecutive classification.
 	lastByteRead    int64
@@ -23,6 +41,34 @@ type PosixRecord struct {
 	lastOpWasWrite  bool
 	everRead        bool
 	everWritten     bool
+}
+
+// bumpAccess counts one access of the given size.
+func (rec *PosixRecord) bumpAccess(size int64) {
+	for i := 0; i < rec.accessInlineN; i++ {
+		if rec.accessInline[i].size == size {
+			rec.accessInline[i].count++
+			return
+		}
+	}
+	if rec.accessInlineN < accessInlineCap {
+		rec.accessInline[rec.accessInlineN] = accessEntry{size: size, count: 1}
+		rec.accessInlineN++
+		return
+	}
+	if rec.accessSizes == nil {
+		rec.accessSizes = make(map[int64]int64)
+	}
+	rec.accessSizes[size]++
+}
+
+// clearAccessState drops the runtime access-pattern table after the
+// ACCESS1..4 counters have been finalized (snapshot copies carry only the
+// counter arrays, as in Darshan's binary format).
+func (rec *PosixRecord) clearAccessState() {
+	rec.accessInline = [accessInlineCap]accessEntry{}
+	rec.accessInlineN = 0
+	rec.accessSizes = nil
 }
 
 // Name is resolved through the runtime name registry by callers; records
@@ -70,7 +116,7 @@ func (m *PosixModule) copyRecords() []PosixRecord {
 	for _, id := range m.order {
 		rec := *m.records[id] // value copy: counter arrays are copied
 		finalizeAccessCounters(&rec)
-		rec.accessSizes = nil
+		rec.clearAccessState()
 		out = append(out, rec)
 	}
 	return out
@@ -88,7 +134,7 @@ func (m *PosixModule) recordFor(t *sim.Thread, path string) *PosixRecord {
 		return nil
 	}
 	m.rt.chargeNewRecord(t)
-	rec := &PosixRecord{ID: id, Rank: m.rt.rank, accessSizes: make(map[int64]int64)}
+	rec := &PosixRecord{ID: id, Rank: m.rt.rank}
 	m.records[id] = rec
 	m.order = append(m.order, id)
 	m.rt.registerName(id, path)
@@ -131,7 +177,7 @@ func (m *PosixModule) recordOpen(rec *PosixRecord, start, end float64) {
 func (m *PosixModule) recordRead(t *sim.Thread, rec *PosixRecord, offset, size int64, start, end float64) {
 	rec.Counters[POSIX_READS]++
 	rec.Counters[readSizeBucket(size)]++
-	rec.accessSizes[size]++
+	rec.bumpAccess(size)
 	if rec.everRead {
 		if offset > rec.lastByteRead {
 			rec.Counters[POSIX_SEQ_READS]++
@@ -167,7 +213,7 @@ func (m *PosixModule) recordRead(t *sim.Thread, rec *PosixRecord, offset, size i
 func (m *PosixModule) recordWrite(t *sim.Thread, rec *PosixRecord, offset, size int64, start, end float64) {
 	rec.Counters[POSIX_WRITES]++
 	rec.Counters[writeSizeBucket(size)]++
-	rec.accessSizes[size]++
+	rec.bumpAccess(size)
 	if rec.everWritten {
 		if offset > rec.lastByteWritten {
 			rec.Counters[POSIX_SEQ_WRITES]++

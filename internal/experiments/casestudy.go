@@ -217,7 +217,7 @@ func analyzeTimelines(space *profiler.XSpace) (files, zeroTerminated, matched in
 		}
 		files++
 		last := line.Events[len(line.Events)-1]
-		if last.Metadata["length"] == "0" {
+		if v, ok := last.Arg("length"); ok && v == "0" {
 			zeroTerminated++
 		}
 		segStart := line.Events[0].StartNs

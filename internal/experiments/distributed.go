@@ -148,15 +148,19 @@ func runRankCount(c Config, ranks int) (RanksRow, error) {
 }
 
 // RanksExperiment sweeps the rank ladder and reports aggregate bandwidth,
-// per-rank straggler spread and epoch time per rank count.
+// per-rank straggler spread and epoch time per rank count. Each rank count
+// is its own cluster and kernel, so the sweep points run concurrently
+// under Config.Parallel with rows still assembled in ladder order.
 func RanksExperiment(c Config) (*RanksResult, error) {
-	out := &RanksResult{}
-	for _, ranks := range c.rankSweep() {
-		row, err := runRankCount(c, ranks)
-		if err != nil {
-			return nil, err
-		}
-		out.Rows = append(out.Rows, row)
+	sweep := c.rankSweep()
+	rows := make([]RanksRow, len(sweep))
+	err := runIndexed(c.Parallel, len(sweep), func(i int) error {
+		var err error
+		rows[i], err = runRankCount(c, sweep[i])
+		return err
+	})
+	if err != nil {
+		return nil, err
 	}
-	return out, nil
+	return &RanksResult{Rows: rows}, nil
 }

@@ -40,6 +40,11 @@ type Config struct {
 	// Ranks pins the distributed scaling experiment to one rank count
 	// (cmd/tfdarshan -ranks); 0 runs the default {1,2,4,8} sweep.
 	Ranks int
+	// Parallel is the number of simulation kernels run concurrently on
+	// host CPUs (cmd/tfdarshan -parallel): 0 and 1 run serially, negative
+	// means one worker per core. Kernels are independent, so results are
+	// byte-identical at any setting.
+	Parallel int
 }
 
 // DefaultConfig runs at paper scale.
@@ -208,6 +213,9 @@ func (ts *trainSetup) run() (*trainOutcome, error) {
 		})
 	})
 	if err := m.K.Run(); err != nil {
+		// A failed run (e.g. DeadlockError) leaves blocked threads parked
+		// forever; reap their goroutines before reporting the error.
+		m.K.Shutdown()
 		return nil, err
 	}
 	if runErr != nil {

@@ -173,33 +173,45 @@ func setupMode(m *platform.Machine, mode profMode) {
 // Fig5 quantifies profiling overhead for the four workloads under the
 // three configurations (paper Fig. 5): batch 128, 10 steps for the two
 // use-cases with the automatic TensorBoard callback; the STREAM workloads
-// use the manual method restarted every five steps.
+// use the manual method restarted every five steps. All workload×mode
+// cells are independent machines, so they run concurrently under
+// Config.Parallel and fold into rows by index.
 func Fig5(c Config) (*OverheadResult, error) {
-	res := &OverheadResult{}
-	for _, w := range overheadWorkloads(c) {
-		row := OverheadRow{Workload: w.name}
-		for _, mode := range []profMode{modeNone, modeTF, modeTFD} {
-			setup, err := w.build(c, mode)
-			if err != nil {
-				return nil, err
-			}
-			row.Manual = setup.manualEvery > 0 || (mode == modeNone && !setup.profileAll && strings.HasPrefix(w.name, "STREAM"))
-			out, err := setup.run()
-			if err != nil {
-				return nil, fmt.Errorf("fig5 %s mode %d: %w", w.name, mode, err)
-			}
-			switch mode {
-			case modeNone:
-				row.BaselineSec = out.wallSeconds
-			case modeTF:
-				row.TFSec = out.wallSeconds
-			case modeTFD:
-				row.TFDSec = out.wallSeconds
-			}
-		}
-		res.Rows = append(res.Rows, row)
+	workloads := overheadWorkloads(c)
+	modes := []profMode{modeNone, modeTF, modeTFD}
+	rows := make([]OverheadRow, len(workloads))
+	for i, w := range workloads {
+		rows[i].Workload = w.name
+		// STREAM rows profile manually (restart-every-5); use-case rows
+		// use the automatic callback. Set once here — the per-cell jobs
+		// below run concurrently and must not share field writes.
+		rows[i].Manual = strings.HasPrefix(w.name, "STREAM")
 	}
-	return res, nil
+	err := runIndexed(c.Parallel, len(workloads)*len(modes), func(i int) error {
+		w, mode := workloads[i/len(modes)], modes[i%len(modes)]
+		setup, err := w.build(c, mode)
+		if err != nil {
+			return err
+		}
+		row := &rows[i/len(modes)]
+		out, err := setup.run()
+		if err != nil {
+			return fmt.Errorf("fig5 %s mode %d: %w", w.name, mode, err)
+		}
+		switch mode {
+		case modeNone:
+			row.BaselineSec = out.wallSeconds
+		case modeTF:
+			row.TFSec = out.wallSeconds
+		case modeTFD:
+			row.TFDSec = out.wallSeconds
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &OverheadResult{Rows: rows}, nil
 }
 
 // Fig6 result: checkpoint activity captured on the STDIO layer.

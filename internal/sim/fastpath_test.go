@@ -1,0 +1,254 @@
+package sim
+
+import (
+	"errors"
+	"testing"
+)
+
+// TestSleepFastPathMatchesSlowPath drives an identical multi-thread,
+// timer-mixed schedule with the inline time-warp enabled and disabled and
+// requires the same event order and timestamps: the fast path must be
+// observationally invisible.
+func TestSleepFastPathMatchesSlowPath(t *testing.T) {
+	run := func(force bool) (trace []int64, end int64) {
+		k := NewKernel()
+		k.ForceSlowPath = force
+		var mu Mutex
+		k.AfterFunc(3*Millisecond, func(kk *Kernel) { trace = append(trace, -1) })
+		k.Spawn("a", func(th *Thread) {
+			for i := 0; i < 5; i++ {
+				th.Sleep(Millisecond)
+				trace = append(trace, th.Now())
+			}
+			mu.Lock(th)
+			th.Sleep(10 * Millisecond) // sole runnable: warp candidate
+			mu.Unlock(th)
+			trace = append(trace, th.Now())
+		})
+		k.Spawn("b", func(th *Thread) {
+			th.Sleep(2 * Millisecond)
+			mu.Lock(th)
+			trace = append(trace, th.Now())
+			mu.Unlock(th)
+		})
+		if err := k.Run(); err != nil {
+			t.Fatal(err)
+		}
+		return trace, k.Now()
+	}
+	fastTrace, fastEnd := run(false)
+	slowTrace, slowEnd := run(true)
+	if fastEnd != slowEnd {
+		t.Fatalf("end time diverged: fast %d, slow %d", fastEnd, slowEnd)
+	}
+	if len(fastTrace) != len(slowTrace) {
+		t.Fatalf("trace lengths diverged: fast %v, slow %v", fastTrace, slowTrace)
+	}
+	for i := range fastTrace {
+		if fastTrace[i] != slowTrace[i] {
+			t.Fatalf("trace[%d] diverged: fast %v, slow %v", i, fastTrace, slowTrace)
+		}
+	}
+}
+
+// TestSleepFastPathRespectsEqualDeadlineTimer pins the boundary condition:
+// a timer at exactly the sleep deadline was created earlier, so it must
+// fire before the sleeper resumes (it may wake another thread); the warp
+// must not skip it.
+func TestSleepFastPathRespectsEqualDeadlineTimer(t *testing.T) {
+	k := NewKernel()
+	var order []string
+	k.AfterFunc(Millisecond, func(kk *Kernel) { order = append(order, "timer") })
+	k.Spawn("s", func(th *Thread) {
+		th.Sleep(Millisecond)
+		order = append(order, "sleeper")
+	})
+	if err := k.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if len(order) != 2 || order[0] != "timer" || order[1] != "sleeper" {
+		t.Fatalf("order = %v, want [timer sleeper]", order)
+	}
+}
+
+// TestSoleThreadSleepZeroAlloc pins the tentpole contract: a sole runnable
+// thread's Sleep allocates nothing.
+func TestSoleThreadSleepZeroAlloc(t *testing.T) {
+	k := NewKernel()
+	var allocs float64
+	k.Spawn("bench", func(th *Thread) {
+		allocs = testing.AllocsPerRun(1000, func() {
+			th.Sleep(100 * Nanosecond)
+		})
+	})
+	if err := k.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if allocs != 0 {
+		t.Fatalf("sole-thread Sleep: %v allocs/op, want 0", allocs)
+	}
+}
+
+// TestParkedSleepZeroAllocSteadyState pins the slow path: even when the
+// sleeper must park (a second runnable thread exists), the reusable
+// embedded timer keeps steady-state Sleep at 0 allocs/op.
+func TestParkedSleepZeroAllocSteadyState(t *testing.T) {
+	k := NewKernel()
+	var allocs float64
+	done := false
+	k.Spawn("peer", func(th *Thread) {
+		for !done {
+			th.Sleep(50 * Nanosecond)
+		}
+	})
+	k.Spawn("bench", func(th *Thread) {
+		// Warm up so the timer heap and ready ring reach capacity.
+		for i := 0; i < 64; i++ {
+			th.Sleep(100 * Nanosecond)
+		}
+		allocs = testing.AllocsPerRun(1000, func() {
+			th.Sleep(100 * Nanosecond)
+		})
+		done = true
+	})
+	if err := k.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if allocs != 0 {
+		t.Fatalf("parked Sleep steady state: %v allocs/op, want 0", allocs)
+	}
+}
+
+// TestUncontendedMutexZeroAlloc pins Lock/Unlock with no contention at 0
+// allocs/op.
+func TestUncontendedMutexZeroAlloc(t *testing.T) {
+	k := NewKernel()
+	var mu Mutex
+	var allocs float64
+	k.Spawn("bench", func(th *Thread) {
+		allocs = testing.AllocsPerRun(1000, func() {
+			mu.Lock(th)
+			mu.Unlock(th)
+		})
+	})
+	if err := k.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if allocs != 0 {
+		t.Fatalf("uncontended Lock/Unlock: %v allocs/op, want 0", allocs)
+	}
+}
+
+// TestSemaphoreSteadyStateZeroAlloc pins the uncontended and steady-state
+// contended Acquire/Release paths at 0 allocs/op.
+func TestSemaphoreSteadyStateZeroAlloc(t *testing.T) {
+	k := NewKernel()
+	sem := NewSemaphore(1)
+	var uncontended float64
+	k.Spawn("bench", func(th *Thread) {
+		uncontended = testing.AllocsPerRun(1000, func() {
+			sem.Acquire(th, 1)
+			sem.Release(th, 1)
+		})
+	})
+	if err := k.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if uncontended != 0 {
+		t.Fatalf("uncontended Acquire/Release: %v allocs/op, want 0", uncontended)
+	}
+}
+
+// TestShutdownReapsBlockedThreads covers Kernel.Shutdown across every
+// blocked shape: mutex waiter, semaphore waiter, channel receiver, sleeper
+// and a never-started thread.
+func TestShutdownReapsBlockedThreads(t *testing.T) {
+	k := NewKernel()
+	var mu Mutex
+	sem := NewSemaphore(0)
+	ch := NewChan[int](0)
+	k.Spawn("holder", func(th *Thread) { mu.Lock(th) }) // exits holding
+	k.Spawn("mutex-waiter", func(th *Thread) { mu.Lock(th) })
+	k.Spawn("sem-waiter", func(th *Thread) { sem.Acquire(th, 1) })
+	k.Spawn("recv-waiter", func(th *Thread) { ch.Recv(th) })
+	err := k.Run()
+	var dl *DeadlockError
+	if !errors.As(err, &dl) {
+		t.Fatalf("want DeadlockError, got %v", err)
+	}
+	// Spawn one more thread that will never run, then reap everything.
+	k.Spawn("never-started", func(th *Thread) { th.Sleep(Second) })
+	k.Shutdown()
+	if k.Live() != 0 {
+		t.Fatalf("after Shutdown: %d live threads, want 0", k.Live())
+	}
+	if !k.Stopped() {
+		t.Fatal("Stopped() = false after Shutdown")
+	}
+	k.Shutdown() // idempotent
+}
+
+// TestShutdownRunsDeferredCleanup verifies a reaped thread's defers run
+// (the kill unwinds the stack rather than abandoning it), including defers
+// that touch sim primitives.
+func TestShutdownRunsDeferredCleanup(t *testing.T) {
+	k := NewKernel()
+	var mu Mutex
+	cleaned := false
+	k.Spawn("worker", func(th *Thread) {
+		mu.Lock(th)
+		defer func() {
+			cleaned = true
+			mu.Unlock(th)
+		}()
+		th.park(stateBlocked, "forever")
+	})
+	err := k.Run()
+	var dl *DeadlockError
+	if !errors.As(err, &dl) {
+		t.Fatalf("want DeadlockError, got %v", err)
+	}
+	k.Shutdown()
+	if !cleaned {
+		t.Fatal("deferred cleanup did not run during Shutdown")
+	}
+	if k.Live() != 0 {
+		t.Fatalf("after Shutdown: %d live threads", k.Live())
+	}
+}
+
+// TestReadyRingWrapAround exercises the ring buffer through growth and
+// wrap-around with a churning spawn/sleep pattern.
+func TestReadyRingWrapAround(t *testing.T) {
+	k := NewKernel()
+	var ran int
+	for i := 0; i < 100; i++ {
+		k.Spawn("w", func(th *Thread) {
+			th.Sleep(Duration(1+ran%7) * Microsecond)
+			ran++
+		})
+	}
+	if err := k.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if ran != 100 {
+		t.Fatalf("ran %d threads, want 100", ran)
+	}
+}
+
+// TestYieldFastPathNoOpWhenAlone verifies a sole thread's Yield returns at
+// the same instant without a kernel round trip, matching the parked
+// schedule.
+func TestYieldFastPathNoOpWhenAlone(t *testing.T) {
+	k := NewKernel()
+	k.Spawn("a", func(th *Thread) {
+		before := th.Now()
+		th.Yield()
+		if th.Now() != before {
+			t.Errorf("Yield advanced the clock: %d -> %d", before, th.Now())
+		}
+	})
+	if err := k.Run(); err != nil {
+		t.Fatal(err)
+	}
+}

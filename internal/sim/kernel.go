@@ -11,6 +11,23 @@
 // primitives (Mutex, Semaphore, Cond, WaitGroup, Chan), or on resources
 // built from those primitives (see internal/storage). Virtual time advances
 // only when no thread is runnable.
+//
+// # Fast paths
+//
+// The scheduling hot path is built so the common case performs no heap
+// allocation and no goroutine switch:
+//
+//   - Inline time-warp: when a sleeping thread is the only runnable thread
+//     and no timer fires before its deadline, Sleep advances the clock in
+//     place and returns — no timer, no park, no kernel round trip. The
+//     observable schedule is identical to the parked path (nothing else
+//     could have run in between), so results stay bit-identical.
+//   - Zero-alloc sleep: the parked path reuses a per-Thread embedded Timer
+//     (a thread pointer instead of a wakeup closure), so even contended
+//     sleeps allocate nothing in steady state.
+//   - The ready queue is a growable ring buffer rather than a slice that is
+//     re-sliced from the front, so enqueue/dequeue never shift or leak
+//     backing arrays.
 package sim
 
 import (
@@ -72,19 +89,62 @@ func (s threadState) String() string {
 	return "unknown"
 }
 
+// readyRing is a growable FIFO ring buffer of runnable threads. Unlike the
+// previous `ready = ready[1:]` slicing, dequeue is O(1) with no backing
+// array churn: steady-state push/pop never allocates.
+type readyRing struct {
+	buf  []*Thread
+	head int
+	n    int
+}
+
+func (q *readyRing) push(t *Thread) {
+	if q.n == len(q.buf) {
+		q.grow()
+	}
+	q.buf[(q.head+q.n)&(len(q.buf)-1)] = t
+	q.n++
+}
+
+func (q *readyRing) pop() *Thread {
+	t := q.buf[q.head]
+	q.buf[q.head] = nil
+	q.head = (q.head + 1) & (len(q.buf) - 1)
+	q.n--
+	return t
+}
+
+func (q *readyRing) grow() {
+	newCap := len(q.buf) * 2
+	if newCap == 0 {
+		newCap = 8
+	}
+	buf := make([]*Thread, newCap)
+	for i := 0; i < q.n; i++ {
+		buf[i] = q.buf[(q.head+i)&(len(q.buf)-1)]
+	}
+	q.buf = buf
+	q.head = 0
+}
+
 // Kernel is a deterministic discrete-event scheduler. The zero value is not
 // usable; create one with NewKernel.
 type Kernel struct {
 	now     int64
 	seq     uint64
 	timers  timerHeap
-	ready   []*Thread
+	ready   readyRing
 	yieldCh chan struct{}
 	cur     *Thread
 	threads []*Thread
 	live    int
 	nextTID int
 	stopped bool
+
+	// ForceSlowPath disables the inline time-warp and yield fast paths so
+	// equivalence tests can prove the fast paths are observationally
+	// identical to the fully parked schedule. Never set in production runs.
+	ForceSlowPath bool
 }
 
 // NewKernel returns an empty kernel at virtual time zero.
@@ -114,26 +174,46 @@ func (k *Kernel) Spawn(name string, fn func(t *Thread)) *Thread {
 	k.threads = append(k.threads, t)
 	go func() {
 		<-t.resume
-		fn(t)
+		if !k.stopped {
+			runThreadFn(t, fn)
+		}
 		t.state = stateDone
 		k.live--
 		k.yieldCh <- struct{}{}
 	}()
-	k.makeReadyAppend(t)
+	k.ready.push(t)
 	return t
 }
 
-func (k *Kernel) makeReadyAppend(t *Thread) {
-	k.ready = append(k.ready, t)
+// threadKilled is the panic sentinel Shutdown uses to unwind a parked
+// thread's goroutine through arbitrarily deep call stacks.
+type threadKilled struct{}
+
+// runThreadFn runs the thread body, absorbing the Shutdown kill sentinel so
+// reaped goroutines exit cleanly while real panics still propagate.
+func runThreadFn(t *Thread, fn func(*Thread)) {
+	defer func() {
+		if r := recover(); r != nil {
+			if _, ok := r.(threadKilled); !ok {
+				panic(r)
+			}
+		}
+	}()
+	fn(t)
 }
 
 // makeReady moves a parked thread to the back of the run queue.
 func (k *Kernel) makeReady(t *Thread) {
+	if k.stopped {
+		// A dying thread's deferred cleanup (Unlock, channel close, ...) may
+		// wake peers mid-Shutdown; they are about to be reaped themselves.
+		return
+	}
 	if t.state == stateDone || t.state == stateReady || t.state == stateRunning {
 		panic(fmt.Sprintf("sim: makeReady on thread %q in state %v", t.name, t.state))
 	}
 	t.state = stateReady
-	k.makeReadyAppend(t)
+	k.ready.push(t)
 }
 
 func (k *Kernel) runThread(t *Thread) {
@@ -144,30 +224,39 @@ func (k *Kernel) runThread(t *Thread) {
 	k.cur = nil
 }
 
+// nextTimer returns the earliest pending live timer without firing it,
+// discarding cancelled timers as they surface at the top of the heap.
+func (k *Kernel) nextTimer() *Timer {
+	for k.timers.Len() > 0 {
+		if k.timers[0].cancelled {
+			heap.Pop(&k.timers)
+			continue
+		}
+		return k.timers[0]
+	}
+	return nil
+}
+
 // Run executes the simulation until every thread has exited. It returns a
 // DeadlockError if threads remain but none can ever become runnable.
 func (k *Kernel) Run() error {
 	for {
-		if len(k.ready) > 0 {
-			t := k.ready[0]
-			k.ready = k.ready[1:]
+		if k.ready.n > 0 {
+			t := k.ready.pop()
 			if t.state != stateReady {
 				panic(fmt.Sprintf("sim: thread %q on run queue in state %v", t.name, t.state))
 			}
 			k.runThread(t)
 			continue
 		}
-		if k.timers.Len() > 0 {
-			tm := heap.Pop(&k.timers).(*Timer)
-			if tm.cancelled {
-				continue
-			}
+		if tm := k.nextTimer(); tm != nil {
+			heap.Pop(&k.timers)
 			if tm.when < k.now {
 				panic("sim: timer fired in the past")
 			}
 			k.now = tm.when
 			tm.fired = true
-			tm.fn(k)
+			tm.fire(k)
 			continue
 		}
 		if k.live > 0 {
@@ -176,6 +265,34 @@ func (k *Kernel) Run() error {
 		return nil
 	}
 }
+
+// Shutdown reaps every thread that has not yet exited, releasing its
+// backing goroutine. A kernel abandoned after a DeadlockError (or dropped
+// mid-run) otherwise strands each blocked thread's goroutine on its resume
+// channel forever, which accumulates leaked goroutines across experiment
+// artifacts under `go test -race`.
+//
+// Shutdown must be called from the goroutine that owns the kernel (the one
+// that called or would call Run), never from inside a simulated thread. It
+// is idempotent, and a kernel cannot be Run again afterwards.
+func (k *Kernel) Shutdown() {
+	if k.stopped {
+		return
+	}
+	k.stopped = true
+	for _, t := range k.threads {
+		if t.state == stateDone {
+			continue
+		}
+		// Wake the goroutine: new threads see k.stopped and skip their
+		// body; parked threads unwind via the threadKilled sentinel.
+		t.resume <- struct{}{}
+		<-k.yieldCh
+	}
+}
+
+// Stopped reports whether Shutdown has been called.
+func (k *Kernel) Stopped() bool { return k.stopped }
 
 // DeadlockError reports the set of threads that can never run again.
 type DeadlockError struct {
@@ -209,6 +326,11 @@ type Thread struct {
 	resume    chan struct{}
 	blockedOn string
 
+	// sleepTimer is the thread's reusable wakeup timer: a thread has at
+	// most one pending sleep, so the parked Sleep path re-arms this
+	// embedded Timer instead of allocating one (plus a closure) per call.
+	sleepTimer Timer
+
 	// scratch slot used by Chan handoff.
 	chanVal any
 	chanOK  bool
@@ -228,6 +350,9 @@ func (t *Thread) Now() int64 { return t.k.now }
 
 // park blocks the calling thread until another component calls makeReady.
 func (t *Thread) park(state threadState, desc string) {
+	if t.k.stopped {
+		panic(threadKilled{})
+	}
 	if t.k.cur != t {
 		panic(fmt.Sprintf("sim: thread %q parked while not current (cur=%v)", t.name, t.k.cur))
 	}
@@ -235,18 +360,45 @@ func (t *Thread) park(state threadState, desc string) {
 	t.blockedOn = desc
 	t.k.yieldCh <- struct{}{}
 	<-t.resume
+	if t.k.stopped {
+		panic(threadKilled{})
+	}
 	t.blockedOn = ""
 }
 
 // Sleep advances the thread by d of virtual time. Non-positive durations
 // yield the processor without advancing the clock.
+//
+// When the caller is the sole runnable thread and no timer fires before the
+// deadline, the clock is warped forward inline — no timer, no park, no
+// goroutine switch — which is observationally identical to the parked path
+// because nothing else could have been scheduled in the interval.
 func (t *Thread) Sleep(d Duration) {
 	if d <= 0 {
 		t.Yield()
 		return
 	}
 	k := t.k
-	k.AfterFunc(d, func(kk *Kernel) { kk.makeReady(t) })
+	deadline := k.now + d
+	if k.ready.n == 0 && !k.ForceSlowPath && !k.stopped {
+		if tm := k.nextTimer(); tm == nil || tm.when > deadline {
+			// Inline time-warp: a timer at exactly `deadline` would fire
+			// first under the parked schedule (it was created earlier),
+			// possibly waking another thread, so equality takes the slow
+			// path.
+			k.now = deadline
+			return
+		}
+	}
+	tm := &t.sleepTimer
+	tm.when = deadline
+	tm.seq = k.seq
+	k.seq++
+	tm.fn = nil
+	tm.thread = t
+	tm.cancelled = false
+	tm.fired = false
+	heap.Push(&k.timers, tm)
 	t.park(stateSleeping, "sleep")
 }
 
@@ -260,9 +412,13 @@ func (t *Thread) SleepUntil(when int64) {
 }
 
 // Yield requeues the thread at the back of the run queue without advancing
-// virtual time.
+// virtual time. With an empty run queue the yield is a no-op: the parked
+// schedule would immediately re-select this thread at the same instant.
 func (t *Thread) Yield() {
 	k := t.k
+	if k.ready.n == 0 && !k.ForceSlowPath && !k.stopped {
+		return
+	}
 	t.state = stateBlocked
 	k.makeReady(t)
 	t.park(stateReady, "yield")

@@ -115,6 +115,10 @@ func TestDeadlockDetection(t *testing.T) {
 	if len(dl.Blocked) != 1 {
 		t.Fatalf("blocked threads = %v, want exactly one", dl.Blocked)
 	}
+	k.Shutdown() // reap the forever-blocked waiter's goroutine
+	if k.Live() != 0 {
+		t.Fatalf("after Shutdown: %d live threads", k.Live())
+	}
 }
 
 func TestTimerCancel(t *testing.T) {

@@ -57,15 +57,35 @@ func ownerName(t *Thread) string {
 	return t.name
 }
 
-// Semaphore is a counting semaphore with FIFO wakeup.
+// Semaphore is a counting semaphore with FIFO wakeup. Waiters are stored
+// by value in a head-indexed queue, so a blocked Acquire allocates nothing
+// in steady state (the slice is recycled once drained).
 type Semaphore struct {
 	avail   int
-	waiters []*semWaiter
+	waiters []semWaiter
+	whead   int
 }
 
 type semWaiter struct {
 	t *Thread
 	n int
+}
+
+func (s *Semaphore) waiting() int { return len(s.waiters) - s.whead }
+
+func (s *Semaphore) pushWaiter(w semWaiter) {
+	s.waiters = append(s.waiters, w)
+}
+
+func (s *Semaphore) popWaiter() semWaiter {
+	w := s.waiters[s.whead]
+	s.waiters[s.whead] = semWaiter{}
+	s.whead++
+	if s.whead == len(s.waiters) {
+		s.waiters = s.waiters[:0]
+		s.whead = 0
+	}
+	return w
 }
 
 // NewSemaphore returns a semaphore with n initial permits.
@@ -83,17 +103,17 @@ func (s *Semaphore) Acquire(t *Thread, n int) {
 	if n <= 0 {
 		panic("sim: non-positive semaphore acquire")
 	}
-	if len(s.waiters) == 0 && s.avail >= n {
+	if s.waiting() == 0 && s.avail >= n {
 		s.avail -= n
 		return
 	}
-	s.waiters = append(s.waiters, &semWaiter{t: t, n: n})
+	s.pushWaiter(semWaiter{t: t, n: n})
 	t.park(stateBlocked, "semaphore")
 }
 
 // TryAcquire takes n permits without blocking, reporting success.
 func (s *Semaphore) TryAcquire(n int) bool {
-	if len(s.waiters) == 0 && s.avail >= n {
+	if s.waiting() == 0 && s.avail >= n {
 		s.avail -= n
 		return true
 	}
@@ -106,9 +126,8 @@ func (s *Semaphore) Release(t *Thread, n int) {
 		panic("sim: non-positive semaphore release")
 	}
 	s.avail += n
-	for len(s.waiters) > 0 && s.avail >= s.waiters[0].n {
-		w := s.waiters[0]
-		s.waiters = s.waiters[1:]
+	for s.waiting() > 0 && s.avail >= s.waiters[s.whead].n {
+		w := s.popWaiter()
 		s.avail -= w.n
 		t.k.makeReady(w.t)
 	}
@@ -118,7 +137,7 @@ func (s *Semaphore) Release(t *Thread, n int) {
 func (s *Semaphore) Available() int { return s.avail }
 
 // Waiting returns the number of parked acquirers.
-func (s *Semaphore) Waiting() int { return len(s.waiters) }
+func (s *Semaphore) Waiting() int { return s.waiting() }
 
 // Cond is a condition variable bound to a Mutex.
 type Cond struct {

@@ -5,13 +5,28 @@ import "container/heap"
 // Timer is a pending virtual-time callback. Timers are ordered by firing
 // time with sequence numbers breaking ties, keeping the schedule
 // deterministic.
+//
+// A timer wakes either a callback (fn) or a parked thread (thread). The
+// thread form exists so the Sleep hot path can re-arm a per-Thread embedded
+// timer instead of allocating a closure per sleep.
 type Timer struct {
 	when      int64
 	seq       uint64
 	fn        func(*Kernel)
+	thread    *Thread
 	cancelled bool
 	fired     bool
 	index     int
+}
+
+// fire dispatches the timer: thread-wakeup timers ready their thread,
+// callback timers run their function in kernel context.
+func (tm *Timer) fire(k *Kernel) {
+	if tm.thread != nil {
+		k.makeReady(tm.thread)
+		return
+	}
+	tm.fn(k)
 }
 
 // Cancel prevents the timer from firing. Cancelling an already-fired timer

@@ -10,6 +10,7 @@ import (
 	"errors"
 	"fmt"
 	"sort"
+	"strconv"
 
 	"repro/internal/sim"
 )
@@ -32,28 +33,37 @@ type TracerFactory func() Tracer
 // protobuf): a set of planes, one per data source.
 type XSpace struct {
 	Planes []*XPlane
+
+	// index maps plane name → plane. Plane/FindPlane are called per trace
+	// event during collection, so lookup must not scan Planes linearly.
+	// The index is rebuilt lazily whenever Planes was appended to directly.
+	index map[string]*XPlane
+}
+
+func (s *XSpace) reindex() {
+	s.index = make(map[string]*XPlane, len(s.Planes))
+	for _, p := range s.Planes {
+		s.index[p.Name] = p
+	}
 }
 
 // Plane returns the plane with the given name, creating it if needed.
 func (s *XSpace) Plane(name string) *XPlane {
-	for _, p := range s.Planes {
-		if p.Name == name {
-			return p
-		}
+	if p := s.FindPlane(name); p != nil {
+		return p
 	}
 	p := &XPlane{Name: name}
 	s.Planes = append(s.Planes, p)
+	s.index[name] = p
 	return p
 }
 
 // FindPlane returns the named plane or nil.
 func (s *XSpace) FindPlane(name string) *XPlane {
-	for _, p := range s.Planes {
-		if p.Name == name {
-			return p
-		}
+	if s.index == nil || len(s.index) != len(s.Planes) {
+		s.reindex()
 	}
-	return nil
+	return s.index[name]
 }
 
 // TotalEvents counts events across all planes and lines.
@@ -74,18 +84,38 @@ type XPlane struct {
 	// Stats carries plane-level key/value statistics (the profiler uses
 	// these for its analysis pages).
 	Stats map[string]string
+
+	// lineIndex maps line id → line; Line is called per collected event
+	// and tf-Darshan planes carry one line per file, so a linear scan is
+	// quadratic in file count. Rebuilt lazily after direct Lines appends;
+	// SortLines only reorders the slice, which leaves the index valid.
+	lineIndex map[int64]*XLine
+}
+
+func (p *XPlane) reindexLines() {
+	p.lineIndex = make(map[int64]*XLine, len(p.Lines))
+	for _, l := range p.Lines {
+		p.lineIndex[l.ID] = l
+	}
+}
+
+// FindLine returns the line with the given id, or nil.
+func (p *XPlane) FindLine(id int64) *XLine {
+	if p.lineIndex == nil || len(p.lineIndex) != len(p.Lines) {
+		p.reindexLines()
+	}
+	return p.lineIndex[id]
 }
 
 // Line returns the line with the given id, creating it (with name) if
 // needed.
 func (p *XPlane) Line(id int64, name string) *XLine {
-	for _, l := range p.Lines {
-		if l.ID == id {
-			return l
-		}
+	if l := p.FindLine(id); l != nil {
+		return l
 	}
 	l := &XLine{ID: id, Name: name}
 	p.Lines = append(p.Lines, l)
+	p.lineIndex[id] = l
 	return l
 }
 
@@ -116,6 +146,53 @@ type XEvent struct {
 	StartNs  int64
 	DurNs    int64
 	Metadata map[string]string
+
+	// hasIO/ioOffset/ioLength are the typed form of the {offset, length}
+	// metadata tf-Darshan attaches to every traced I/O segment. Events are
+	// produced per traced operation, so a map plus two formatted strings
+	// per event dominated collection-time allocation; the typed fields
+	// defer string materialization to Arg/Args (render/export time).
+	hasIO    bool
+	ioOffset int64
+	ioLength int64
+}
+
+// SetIO attaches typed I/O arguments (file offset and length in bytes).
+func (ev *XEvent) SetIO(offset, length int64) {
+	ev.hasIO = true
+	ev.ioOffset = offset
+	ev.ioLength = length
+}
+
+// Arg returns the named argument as a string, drawing from the typed I/O
+// fields or the Metadata map.
+func (ev *XEvent) Arg(key string) (string, bool) {
+	if ev.hasIO {
+		switch key {
+		case "offset":
+			return strconv.FormatInt(ev.ioOffset, 10), true
+		case "length":
+			return strconv.FormatInt(ev.ioLength, 10), true
+		}
+	}
+	v, ok := ev.Metadata[key]
+	return v, ok
+}
+
+// Args materializes the full argument map (typed I/O fields merged over
+// Metadata). Export paths call it once per rendered event; collection
+// never does.
+func (ev *XEvent) Args() map[string]string {
+	if !ev.hasIO {
+		return ev.Metadata
+	}
+	out := make(map[string]string, len(ev.Metadata)+2)
+	for k, v := range ev.Metadata {
+		out[k] = v
+	}
+	out["offset"] = strconv.FormatInt(ev.ioOffset, 10)
+	out["length"] = strconv.FormatInt(ev.ioLength, 10)
+	return out
 }
 
 // TraceMeRecorder collects host-side op annotations while active. TF ops

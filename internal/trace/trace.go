@@ -69,7 +69,7 @@ func FromXSpace(space *profiler.XSpace, sessionStartNs int64) *File {
 					Dur:  float64(ev.DurNs) / 1e3,
 					PID:  pid,
 					TID:  line.ID,
-					Args: ev.Metadata,
+					Args: ev.Args(),
 				})
 			}
 		}
@@ -142,14 +142,14 @@ func RenderTimelines(space *profiler.XSpace, sessionStartNs int64, maxLinesPerPl
 			for _, ev := range events {
 				start := float64(ev.StartNs-sessionStartNs) / 1e6
 				fmt.Fprintf(&b, "     [%12.3fms +%9.3fms] %s", start, float64(ev.DurNs)/1e6, ev.Name)
-				if len(ev.Metadata) > 0 {
-					keys := make([]string, 0, len(ev.Metadata))
-					for k := range ev.Metadata {
+				if args := ev.Args(); len(args) > 0 {
+					keys := make([]string, 0, len(args))
+					for k := range args {
 						keys = append(keys, k)
 					}
 					sort.Strings(keys)
 					for _, k := range keys {
-						fmt.Fprintf(&b, " %s=%s", k, ev.Metadata[k])
+						fmt.Fprintf(&b, " %s=%s", k, args[k])
 					}
 				}
 				b.WriteByte('\n')

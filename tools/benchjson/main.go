@@ -1,0 +1,144 @@
+// Command benchjson runs the repo's benchmark suite and emits a machine-
+// readable BENCH_<n>.json: per-artifact ns/op, B/op, allocs/op and every
+// headline experiment metric the benchmarks report. CI uploads the file as
+// an artifact so the performance trajectory has data points per commit;
+// `make bench-json` produces the same file locally.
+//
+// Usage:
+//
+//	go run ./tools/benchjson [-o BENCH_3.json] [-bench regex] [-benchtime 1x] [-scale f]
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"os/exec"
+	"runtime"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// Benchmark is one parsed benchmark result.
+type Benchmark struct {
+	Name        string             `json:"name"`
+	Iterations  int64              `json:"iterations"`
+	NsPerOp     float64            `json:"ns_per_op"`
+	BytesPerOp  float64            `json:"bytes_per_op,omitempty"`
+	AllocsPerOp float64            `json:"allocs_per_op,omitempty"`
+	Metrics     map[string]float64 `json:"metrics,omitempty"`
+}
+
+// Report is the emitted JSON document.
+type Report struct {
+	Schema     string      `json:"schema"`
+	Generated  string      `json:"generated"`
+	GoVersion  string      `json:"go_version"`
+	GOOS       string      `json:"goos"`
+	GOARCH     string      `json:"goarch"`
+	CPUs       int         `json:"cpus"`
+	Scale      float64     `json:"scale"`
+	BenchTime  string      `json:"benchtime"`
+	Benchmarks []Benchmark `json:"benchmarks"`
+}
+
+func main() {
+	out := flag.String("o", "BENCH.json", "output JSON path")
+	bench := flag.String("bench", ".", "benchmark name regex passed to go test -bench")
+	benchtime := flag.String("benchtime", "1x", "go test -benchtime value")
+	scale := flag.Float64("scale", 0.2, "TFDARSHAN_BENCH_SCALE for the run")
+	flag.Parse()
+
+	cmd := exec.Command("go", "test", "-run", "^$",
+		"-bench", *bench, "-benchtime", *benchtime, "-benchmem", ".")
+	cmd.Env = append(os.Environ(), fmt.Sprintf("TFDARSHAN_BENCH_SCALE=%g", *scale))
+	cmd.Stderr = os.Stderr
+	raw, err := cmd.Output()
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchjson: go test -bench failed: %v\n%s", err, raw)
+		os.Exit(1)
+	}
+	os.Stdout.Write(raw)
+
+	report := Report{
+		Schema:    "tfdarshan-bench/v1",
+		Generated: time.Now().UTC().Format(time.RFC3339),
+		GoVersion: runtime.Version(),
+		GOOS:      runtime.GOOS,
+		GOARCH:    runtime.GOARCH,
+		CPUs:      runtime.NumCPU(),
+		Scale:     *scale,
+		BenchTime: *benchtime,
+	}
+	for _, line := range strings.Split(string(raw), "\n") {
+		b, ok := parseBenchLine(line)
+		if ok {
+			report.Benchmarks = append(report.Benchmarks, b)
+		}
+	}
+	if len(report.Benchmarks) == 0 {
+		fmt.Fprintln(os.Stderr, "benchjson: no benchmark lines parsed")
+		os.Exit(1)
+	}
+	data, err := json.MarshalIndent(report, "", "  ")
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
+		os.Exit(1)
+	}
+	data = append(data, '\n')
+	if err := os.WriteFile(*out, data, 0o644); err != nil {
+		fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
+		os.Exit(1)
+	}
+	fmt.Fprintf(os.Stderr, "benchjson: wrote %s (%d benchmarks)\n", *out, len(report.Benchmarks))
+}
+
+// parseBenchLine parses one `go test -bench` result line:
+//
+//	BenchmarkFig7a...-8   1   297085251 ns/op   123 B/op   4 allocs/op   3.268 bandwidth_MBps
+//
+// Fields after the iteration count are "value unit" pairs; units other
+// than ns/op, B/op and allocs/op are experiment metrics.
+func parseBenchLine(line string) (Benchmark, bool) {
+	if !strings.HasPrefix(line, "Benchmark") {
+		return Benchmark{}, false
+	}
+	fields := strings.Fields(line)
+	if len(fields) < 4 {
+		return Benchmark{}, false
+	}
+	name := strings.TrimPrefix(fields[0], "Benchmark")
+	// Strip the -<GOMAXPROCS> suffix go test appends when procs > 1.
+	if i := strings.LastIndex(name, "-"); i > 0 {
+		if _, err := strconv.Atoi(name[i+1:]); err == nil {
+			name = name[:i]
+		}
+	}
+	iters, err := strconv.ParseInt(fields[1], 10, 64)
+	if err != nil {
+		return Benchmark{}, false
+	}
+	b := Benchmark{Name: name, Iterations: iters}
+	for i := 2; i+1 < len(fields); i += 2 {
+		v, err := strconv.ParseFloat(fields[i], 64)
+		if err != nil {
+			return Benchmark{}, false
+		}
+		switch unit := fields[i+1]; unit {
+		case "ns/op":
+			b.NsPerOp = v
+		case "B/op":
+			b.BytesPerOp = v
+		case "allocs/op":
+			b.AllocsPerOp = v
+		default:
+			if b.Metrics == nil {
+				b.Metrics = make(map[string]float64)
+			}
+			b.Metrics[unit] = v
+		}
+	}
+	return b, true
+}
