@@ -2,37 +2,72 @@
 // a Darshan log in the style of darshan-dxt-parser: per file, every read
 // and write with its offset, length and time window.
 //
+// Merged cluster logs (nprocs > 1) store one flat rank-attributed
+// timeline; dxt-parser groups it back per file and prints every segment
+// with its owning rank, preserving the global start-time order within
+// each direction.
+//
 //	dxt-parser [-limit n] <darshan.log>
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"sort"
+	"strings"
 
 	"repro/internal/darshan"
 )
 
+var errUsage = errors.New("usage: dxt-parser [-limit n] <darshan.log>")
+
 func main() {
-	limit := flag.Int("limit", 0, "max segments to print per file and direction (0 = all)")
-	flag.Parse()
-	if flag.NArg() != 1 {
-		fmt.Fprintln(os.Stderr, "usage: dxt-parser [-limit n] <darshan.log>")
-		os.Exit(2)
-	}
-	f, err := os.Open(flag.Arg(0))
-	if err != nil {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
 		fmt.Fprintln(os.Stderr, err)
+		if errors.Is(err, errUsage) {
+			os.Exit(2)
+		}
 		os.Exit(1)
+	}
+}
+
+func run(args []string, w io.Writer) error {
+	fs := flag.NewFlagSet("dxt-parser", flag.ContinueOnError)
+	fs.SetOutput(io.Discard)
+	limit := fs.Int("limit", 0, "max segments to print per file and direction (0 = all)")
+	if err := fs.Parse(args); err != nil {
+		if errors.Is(err, flag.ErrHelp) {
+			fmt.Fprintln(w, errUsage.Error())
+			fs.SetOutput(w)
+			fs.PrintDefaults()
+			return nil
+		}
+		return fmt.Errorf("%w: %v", errUsage, err)
+	}
+	if fs.NArg() != 1 {
+		return errUsage
+	}
+	f, err := os.Open(fs.Arg(0))
+	if err != nil {
+		return err
 	}
 	defer f.Close()
-	log, err := darshan.ParseLog(f)
+	log, err := darshan.ReadLog(f)
 	if err != nil {
-		fmt.Fprintln(os.Stderr, err)
-		os.Exit(1)
+		return err
 	}
+	if log.Merged {
+		printMerged(w, log, *limit)
+		return nil
+	}
+	printSingle(w, log, *limit)
+	return nil
+}
 
+func printSingle(w io.Writer, log *darshan.Log, limit int) {
 	sort.Slice(log.DXT, func(i, j int) bool {
 		return log.Names[log.DXT[i].ID] < log.Names[log.DXT[j].ID]
 	})
@@ -40,28 +75,111 @@ func main() {
 	for i := range log.DXT {
 		rec := &log.DXT[i]
 		name := log.Names[rec.ID]
-		fmt.Printf("# DXT, file_id: %d, file_name: %s\n", rec.ID, name)
-		fmt.Printf("# DXT, write_count: %d, read_count: %d, dropped: %d\n",
+		fmt.Fprintf(w, "# DXT, file_id: %d, file_name: %s\n", rec.ID, name)
+		fmt.Fprintf(w, "# DXT, write_count: %d, read_count: %d, dropped: %d\n",
 			len(rec.WriteSegs), len(rec.ReadSegs), rec.Dropped)
-		printSegs("X_POSIX\twrite", rec.WriteSegs, *limit)
-		printSegs("X_POSIX\tread", rec.ReadSegs, *limit)
+		printSegs(w, "X_POSIX\twrite", rec.WriteSegs, limit)
+		printSegs(w, "X_POSIX\tread", rec.ReadSegs, limit)
 		totalSegs += int64(len(rec.ReadSegs) + len(rec.WriteSegs))
 		totalDropped += rec.Dropped
 	}
-	fmt.Printf("# total segments: %d (dropped %d)\n", totalSegs, totalDropped)
+	fmt.Fprintf(w, "# total segments: %d (dropped %d)\n", totalSegs, totalDropped)
 }
 
-func printSegs(prefix string, segs []darshan.Segment, limit int) {
+func printSegs(w io.Writer, prefix string, segs []darshan.Segment, limit int) {
 	n := len(segs)
 	if limit > 0 && n > limit {
 		n = limit
 	}
 	for i := 0; i < n; i++ {
 		s := segs[i]
-		fmt.Printf("%s\t[tid=%d]\toffset=%d\tlength=%d\tstart=%.6f\tend=%.6f\n",
+		fmt.Fprintf(w, "%s\t[tid=%d]\toffset=%d\tlength=%d\tstart=%.6f\tend=%.6f\n",
 			prefix, s.TID, s.Offset, s.Length, s.Start, s.End)
 	}
 	if n < len(segs) {
-		fmt.Printf("%s\t... %d more segments\n", prefix, len(segs)-n)
+		fmt.Fprintf(w, "%s\t... %d more segments\n", prefix, len(segs)-n)
 	}
+}
+
+// mergedFile regroups a file's slice of the global timeline, directions
+// split as in the single-process output, order preserved (globally sorted
+// by start time by the merger).
+type mergedFile struct {
+	id     uint64
+	name   string
+	reads  []darshan.MergedSegment
+	writes []darshan.MergedSegment
+	ranks  map[int]bool
+}
+
+func printMerged(w io.Writer, log *darshan.Log, limit int) {
+	files := map[uint64]*mergedFile{}
+	for _, s := range log.Timeline {
+		mf := files[s.ID]
+		if mf == nil {
+			mf = &mergedFile{id: s.ID, name: log.Names[s.ID], ranks: map[int]bool{}}
+			files[s.ID] = mf
+		}
+		mf.ranks[s.Rank] = true
+		if s.Write {
+			mf.writes = append(mf.writes, s)
+		} else {
+			mf.reads = append(mf.reads, s)
+		}
+	}
+	ordered := make([]*mergedFile, 0, len(files))
+	for _, mf := range files {
+		ordered = append(ordered, mf)
+	}
+	sort.Slice(ordered, func(i, j int) bool {
+		if ordered[i].name != ordered[j].name {
+			return ordered[i].name < ordered[j].name
+		}
+		return ordered[i].id < ordered[j].id
+	})
+
+	fmt.Fprintf(w, "# DXT merged timeline: nprocs %d, files %d, segments %d\n",
+		log.NProcs, len(ordered), len(log.Timeline))
+	var totalSegs int64
+	for _, mf := range ordered {
+		fmt.Fprintf(w, "# DXT, file_id: %d, file_name: %s\n", mf.id, mf.name)
+		fmt.Fprintf(w, "# DXT, write_count: %d, read_count: %d, ranks: %s\n",
+			len(mf.writes), len(mf.reads), rankList(mf.ranks))
+		printMergedSegs(w, "X_POSIX\twrite", mf.writes, limit)
+		printMergedSegs(w, "X_POSIX\tread", mf.reads, limit)
+		totalSegs += int64(len(mf.reads) + len(mf.writes))
+	}
+	fmt.Fprintf(w, "# total segments: %d (dropped %d)\n", totalSegs, log.DroppedSegments)
+}
+
+func printMergedSegs(w io.Writer, prefix string, segs []darshan.MergedSegment, limit int) {
+	n := len(segs)
+	if limit > 0 && n > limit {
+		n = limit
+	}
+	for i := 0; i < n; i++ {
+		s := segs[i]
+		fmt.Fprintf(w, "%s\t[rank=%d]\t[tid=%d]\toffset=%d\tlength=%d\tstart=%.6f\tend=%.6f\n",
+			prefix, s.Rank, s.TID, s.Offset, s.Length, s.Start, s.End)
+	}
+	if n < len(segs) {
+		fmt.Fprintf(w, "%s\t... %d more segments\n", prefix, len(segs)-n)
+	}
+}
+
+// rankList renders the sorted set of ranks that touched a file.
+func rankList(ranks map[int]bool) string {
+	rs := make([]int, 0, len(ranks))
+	for r := range ranks {
+		rs = append(rs, r)
+	}
+	sort.Ints(rs)
+	var b strings.Builder
+	for i, r := range rs {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		fmt.Fprintf(&b, "%d", r)
+	}
+	return b.String()
 }

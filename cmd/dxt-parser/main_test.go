@@ -1,0 +1,96 @@
+package main
+
+import (
+	"bytes"
+	"flag"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// -update regenerates the golden stdout transcripts under testdata/ from
+// the committed reference logs (go test ./cmd/dxt-parser -update).
+var update = flag.Bool("update", false, "rewrite testdata golden files")
+
+const (
+	singleLog = "../../internal/darshan/testdata/single.darshan.log"
+	mergedLog = "../../internal/experiments/testdata/merged4.darshan.log"
+)
+
+func runGolden(t *testing.T, name string, args []string) string {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := run(args, &buf); err != nil {
+		t.Fatalf("%s: %v", name, err)
+	}
+	golden := filepath.Join("testdata", name+".golden")
+	if *update {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(golden, buf.Bytes(), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("missing golden (regenerate with: go test ./cmd/dxt-parser -update): %v", err)
+	}
+	if !bytes.Equal(buf.Bytes(), want) {
+		t.Fatalf("%s: parser output drifted from testdata/%s.golden; re-run with -update if intentional", name, name)
+	}
+	return buf.String()
+}
+
+func TestGoldenSingle(t *testing.T) {
+	out := runGolden(t, "single", []string{singleLog})
+	if strings.Contains(out, "[rank=") {
+		t.Fatal("single log printed rank attribution")
+	}
+	if !strings.Contains(out, "X_POSIX\tread\t[tid=") {
+		t.Fatal("single log printed no read segments")
+	}
+}
+
+func TestGoldenSingleLimit(t *testing.T) {
+	out := runGolden(t, "single_limit2", []string{"-limit", "2", singleLog})
+	if !strings.Contains(out, "more segments") {
+		t.Fatal("limit did not truncate")
+	}
+}
+
+// TestGoldenMerged is the acceptance transcript for DXT: the ranks=4
+// merged log prints every segment with its owning rank, files list the
+// ranks that touched them, and the shared manifest shows all four.
+func TestGoldenMerged(t *testing.T) {
+	out := runGolden(t, "merged4", []string{mergedLog})
+	for _, want := range []string{
+		"# DXT merged timeline: nprocs 4,",
+		"ranks: 0,1,2,3",
+		"[rank=0]",
+		"[rank=3]",
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("merged transcript missing %q", want)
+		}
+	}
+}
+
+func TestUsageAndErrors(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run(nil, &buf); err == nil {
+		t.Fatal("no-arg run succeeded")
+	}
+	if err := run([]string{"main_test.go"}, &buf); err == nil {
+		t.Fatal("parsing a non-log succeeded")
+	}
+	// -h prints flag help and succeeds (exit 0), as flag.ExitOnError did.
+	buf.Reset()
+	if err := run([]string{"-h"}, &buf); err != nil {
+		t.Fatalf("-h: %v", err)
+	}
+	if !strings.Contains(buf.String(), "-limit") {
+		t.Fatalf("-h output missing flag docs:\n%s", buf.String())
+	}
+}

@@ -6,9 +6,12 @@
 //	tfdarshan list
 //	tfdarshan run [-scale f] <id>...       (ids: table1 table2 fig3 ... fig12, or "all")
 //	tfdarshan metrics [-scale f] <id>...   (metrics only, no figure body)
-//	tfdarshan artifacts [-scale f] [-out dir] <imagenet|malware>
+//	tfdarshan artifacts [-scale f] [-out dir] <imagenet|malware|distributed>
 //	    writes darshan.log, trace.json.gz and profile.pb from a profiled
-//	    run (inputs for darshan-parser, dxt-parser and traceviewer)
+//	    run (inputs for darshan-parser, dxt-parser and traceviewer);
+//	    "distributed" runs the data-parallel cluster job ([-ranks n],
+//	    default 4) and writes the merged darshan.log plus per-rank
+//	    darshan-rank<r>.log files
 package main
 
 import (
@@ -126,10 +129,14 @@ func usage() {
   tfdarshan list
   tfdarshan run       [-scale f] [-seed n] [-verify] [-ranks n] [-parallel n] <id>...|all
   tfdarshan metrics   [-scale f] [-seed n] [-verify] [-ranks n] [-parallel n] <id>...|all
-  tfdarshan artifacts [-scale f] [-out dir] <imagenet|malware>
+  tfdarshan artifacts [-scale f] [-ranks n] [-out dir] <imagenet|malware|distributed>
 
 the "ranks" experiment shards ImageNet over N data-parallel ranks on one
 shared Lustre system; -ranks pins it to a single rank count
+
+"artifacts distributed" runs the cluster job at -ranks ranks (default 4)
+and writes the merged darshan.log (nprocs > 1, rank -1 shared records,
+rank-attributed DXT timeline) plus one darshan-rank<r>.log per rank
 
 -parallel runs independent artifacts (and sweep points inside ranks, fig5
 and fig12) concurrently on host CPUs; 0 uses one worker per core. Outputs
@@ -137,7 +144,9 @@ are byte-identical to a serial run — kernels share nothing.`)
 }
 
 // writeArtifacts runs a profiled case study and writes the Darshan log,
-// trace.json.gz and profile.pb for the companion tools.
+// trace.json.gz and profile.pb for the companion tools. The distributed
+// use case writes the merged cluster log plus one darshan-rank<r>.log per
+// rank instead of the trace/profile pair.
 func writeArtifacts(cfg experiments.Config, useCase, dir string) error {
 	art, err := experiments.ProduceArtifacts(cfg, useCase)
 	if err != nil {
@@ -146,17 +155,27 @@ func writeArtifacts(cfg experiments.Config, useCase, dir string) error {
 	if err := os.MkdirAll(dir, 0o755); err != nil {
 		return err
 	}
-	files := map[string][]byte{
-		"darshan.log":   art.DarshanLog,
-		"trace.json.gz": art.TraceJSONGz,
-		"profile.pb":    art.ProfilePB,
+	type out struct {
+		name string
+		data []byte
 	}
-	for name, data := range files {
-		p := filepath.Join(dir, name)
-		if err := os.WriteFile(p, data, 0o644); err != nil {
+	files := []out{
+		{"darshan.log", art.DarshanLog},
+		{"trace.json.gz", art.TraceJSONGz},
+		{"profile.pb", art.ProfilePB},
+	}
+	for r, log := range art.PerRankLogs {
+		files = append(files, out{fmt.Sprintf("darshan-rank%d.log", r), log})
+	}
+	for _, f := range files {
+		if f.data == nil {
+			continue
+		}
+		p := filepath.Join(dir, f.name)
+		if err := os.WriteFile(p, f.data, 0o644); err != nil {
 			return err
 		}
-		fmt.Printf("wrote %s (%d bytes)\n", p, len(data))
+		fmt.Printf("wrote %s (%d bytes)\n", p, len(f.data))
 	}
 	return nil
 }

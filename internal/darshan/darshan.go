@@ -1,7 +1,6 @@
 package darshan
 
 import (
-	"cmp"
 	"hash/fnv"
 	"slices"
 
@@ -215,10 +214,21 @@ func (s *Snapshot) StdioByID(id uint64) (StdioRecord, bool) {
 	return StdioRecord{}, false
 }
 
+// accessEntryLess is the explicit ACCESS1..4 ranking order: larger count
+// first, count ties broken by smaller size. Sizes are unique table keys,
+// so the order is total — re-ranking is byte-stable regardless of the map
+// iteration order that feeds the sort (both the per-record overflow map
+// and Merge's combined cross-rank tables).
+func accessEntryLess(a, b accessEntry) bool {
+	if a.count != b.count {
+		return a.count > b.count
+	}
+	return a.size < b.size
+}
+
 // finalizeAccessCounters fills the ACCESS1..4 counters from the common
-// access-size table (the inline array plus the overflow map), largest
-// counts first (ties broken by smaller size), as darshan-core does during
-// shutdown reduction.
+// access-size table (the inline array plus the overflow map), ordered by
+// accessEntryLess, as darshan-core does during shutdown reduction.
 func finalizeAccessCounters(rec *PosixRecord) {
 	// Stack buffer for the common case (≤4 inline sizes, no overflow map):
 	// finalization runs per record per snapshot, so it must not allocate.
@@ -231,16 +241,15 @@ func finalizeAccessCounters(rec *PosixRecord) {
 	for s, c := range rec.accessSizes {
 		pairs = append(pairs, accessEntry{size: s, count: c})
 	}
-	// Order by (count desc, size asc): sizes are unique keys, so the order
-	// is total and deterministic. Insertion sort for the common tiny table
-	// (sort.Slice's reflection-based swapper would allocate); generic
-	// slices.SortFunc (also allocation-free) past that, where O(n²) would
-	// bite files with many distinct access sizes.
+	// Insertion sort for the common tiny table (sort.Slice's
+	// reflection-based swapper would allocate); generic slices.SortFunc
+	// (also allocation-free) past that, where O(n²) would bite files with
+	// many distinct access sizes. Both branches order by accessEntryLess.
 	if len(pairs) <= 16 {
 		for i := 1; i < len(pairs); i++ {
 			p := pairs[i]
 			j := i - 1
-			for j >= 0 && (pairs[j].count < p.count || (pairs[j].count == p.count && pairs[j].size > p.size)) {
+			for j >= 0 && accessEntryLess(p, pairs[j]) {
 				pairs[j+1] = pairs[j]
 				j--
 			}
@@ -248,10 +257,13 @@ func finalizeAccessCounters(rec *PosixRecord) {
 		}
 	} else {
 		slices.SortFunc(pairs, func(a, b accessEntry) int {
-			if a.count != b.count {
-				return cmp.Compare(b.count, a.count)
+			if accessEntryLess(a, b) {
+				return -1
 			}
-			return cmp.Compare(a.size, b.size)
+			if accessEntryLess(b, a) {
+				return 1
+			}
+			return 0
 		})
 	}
 	for i := 0; i < 4; i++ {

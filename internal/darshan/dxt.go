@@ -57,6 +57,9 @@ func (m *DXTModule) Records() []*DXTRecord {
 }
 
 func (m *DXTModule) copyRecords() []DXTRecord {
+	if len(m.order) == 0 {
+		return nil // match the log decoder's absent-block convention
+	}
 	out := make([]DXTRecord, 0, len(m.order))
 	for _, id := range m.order {
 		src := m.records[id]

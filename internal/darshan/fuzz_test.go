@@ -1,0 +1,104 @@
+package darshan
+
+import (
+	"bytes"
+	"errors"
+	"reflect"
+	"testing"
+)
+
+// fuzzSeedLogs builds one valid log of each kind for the seed corpus.
+func fuzzSeedLogs(f *testing.F) (single, merged []byte) {
+	f.Helper()
+	// A hand-built runtime avoids running the simulator inside the fuzz
+	// harness: one POSIX record, one STDIO record, DXT segments.
+	snaps := syntheticSnapshots()
+	var sb bytes.Buffer
+	if err := WriteSnapshotLog(&sb, snaps[0]); err != nil {
+		f.Fatal(err)
+	}
+	var mb bytes.Buffer
+	if err := WriteMergedLog(&mb, Merge(snaps)); err != nil {
+		f.Fatal(err)
+	}
+	return sb.Bytes(), mb.Bytes()
+}
+
+// FuzzReadLog drives the decoder with arbitrary bytes: it must never
+// panic, must reject malformed input with ErrBadLog (truncated headers,
+// corrupt record lengths, out-of-range ranks), and on success the decoded
+// log must survive a write/read round trip intact. ReadMergedLog must
+// agree with the decoded kind.
+func FuzzReadLog(f *testing.F) {
+	single, merged := fuzzSeedLogs(f)
+	f.Add(single)
+	f.Add(merged)
+	// Truncations at structurally interesting places: mid-magic, mid
+	// version, mid gzip stream, and just short of the end.
+	for _, b := range [][]byte{single, merged} {
+		for _, cut := range []int{0, 4, 8, 10, 13, len(b) / 2, len(b) - 2} {
+			if cut >= 0 && cut <= len(b) {
+				f.Add(b[:cut:cut])
+			}
+		}
+	}
+	// Corruptions: version, kind region, stream middle, stream tail.
+	for _, b := range [][]byte{single, merged} {
+		for _, i := range []int{8, 12, 14, len(b) / 2, len(b) - 5} {
+			if i >= 0 && i < len(b) {
+				c := append([]byte(nil), b...)
+				c[i] ^= 0xFF
+				f.Add(c)
+			}
+		}
+	}
+	f.Add([]byte("DARSHAN\x00 but not really"))
+	f.Add([]byte{})
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		log, err := ReadLog(bytes.NewReader(data))
+		mergedLog, mergedErr := ReadMergedLog(bytes.NewReader(data))
+		if err != nil {
+			if !errors.Is(err, ErrBadLog) {
+				t.Fatalf("decode error does not wrap ErrBadLog: %v", err)
+			}
+			if mergedErr == nil {
+				t.Fatal("ReadMergedLog accepted input ReadLog rejected")
+			}
+			return
+		}
+		// Structural invariants the decoder promises.
+		if log.NProcs < 1 {
+			t.Fatalf("accepted nprocs %d", log.NProcs)
+		}
+		for i := range log.Posix {
+			if r := log.Posix[i].Rank; r < MergedRank || (r == MergedRank && !log.Merged) {
+				t.Fatalf("accepted posix rank %d (merged %v)", r, log.Merged)
+			}
+		}
+		for i := range log.Timeline {
+			if r := log.Timeline[i].Rank; r < 0 || int64(r) >= log.NProcs {
+				t.Fatalf("accepted timeline rank %d with nprocs %d", r, log.NProcs)
+			}
+		}
+		if log.Merged != (mergedErr == nil) {
+			t.Fatalf("kind disagreement: merged=%v, ReadMergedLog err=%v", log.Merged, mergedErr)
+		}
+		if mergedErr == nil && mergedLog.NProcs != int(log.NProcs) {
+			t.Fatalf("merged view nprocs %d != %d", mergedLog.NProcs, log.NProcs)
+		}
+		// Round trip: rewriting the decoded log and reading it back must
+		// reproduce the same structure.
+		var buf bytes.Buffer
+		if err := log.Write(&buf); err != nil {
+			t.Fatalf("rewrite failed on accepted log: %v", err)
+		}
+		again, err := ReadLog(bytes.NewReader(buf.Bytes()))
+		if err != nil {
+			t.Fatalf("reread failed on rewritten log: %v", err)
+		}
+		if !reflect.DeepEqual(log, again) {
+			t.Fatal("write/read round trip diverged")
+		}
+	})
+}

@@ -6,160 +6,328 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"math"
+	"sort"
 )
 
 // Log file layout: an 8-byte magic + u32 version header in the clear,
-// followed by one gzip stream holding the job record, the name table and
-// the per-module record blocks (real Darshan also writes a header in the
-// clear and libz-compressed regions behind it).
+// followed by one gzip stream holding a kind byte, the job record, the
+// name table and the per-module record blocks (real Darshan also writes a
+// header in the clear and libz-compressed regions behind it).
+//
+// Two kinds share the container:
+//
+//   - single (kind 0): one process's records, nprocs == 1, DXT stored
+//     per file record as in DXT's posix module;
+//   - merged (kind 1): the cross-rank reduction of a cluster run,
+//     nprocs == rank count, records carry their owning rank or the
+//     shared-record sentinel rank −1, and DXT is one flat rank-attributed
+//     timeline in global start-time order.
+//
+// Every writer has a machine-checkable inverse: ReadLog(Write(x))
+// reconstructs x exactly, and Write(ReadLog(b)) reproduces b byte for
+// byte (the name table is written in ascending record-id order, so the
+// encoding is canonical).
 var logMagic = [8]byte{'D', 'A', 'R', 'S', 'H', 'A', 'N', 0}
 
-// LogVersion is the format version written by this runtime.
-const LogVersion uint32 = 320 // mirrors 3.2.0-pre
+// LogVersion is the format version written by this runtime. 321 added the
+// merged-log kind (rank −1 shared records + rank-attributed DXT timeline).
+const LogVersion uint32 = 321
+
+// Log kinds, the first byte of the compressed stream.
+const (
+	logKindSingle byte = 0
+	logKindMerged byte = 1
+)
+
+// Decoder sanity bounds: a corrupt count field must produce ErrBadLog,
+// not a multi-gigabyte allocation. The record cap matches the runtime's
+// default module record cap; segments and timeline entries get room for
+// the biggest paper-scale traces.
+const (
+	maxLogNames    = 1 << 21
+	maxLogRecords  = 1 << 20
+	maxLogSegments = 1 << 24
+	maxLogNProcs   = 1 << 20
+	// logAllocChunk bounds up-front slice allocation: slices grow as
+	// elements actually decode, so a lying count field hits EOF long
+	// before it can exhaust memory.
+	logAllocChunk = 1 << 12
+)
 
 // ErrBadLog reports a malformed or foreign log file.
 var ErrBadLog = errors.New("darshan: bad log file")
 
-// Log is a parsed Darshan log.
+// Log is a parsed Darshan log, and the canonical serialized form: Write
+// is the exact inverse of ReadLog for both kinds.
 type Log struct {
 	Version  uint32
 	JobStart float64 // always 0: times are relative to job start
 	JobEnd   float64
 	NProcs   int64
-	Names    map[uint64]string
-	Posix    []PosixRecord
-	Stdio    []StdioRecord
-	DXT      []DXTRecord
+	// Merged marks a cross-rank merged log: records may carry the shared
+	// sentinel rank −1 and DXT lives in Timeline instead of DXT.
+	Merged bool
+	Names  map[uint64]string
+	Posix  []PosixRecord
+	Stdio  []StdioRecord
+	// DXT holds per-file trace records (single logs only).
+	DXT []DXTRecord
+	// Timeline holds every rank's DXT segments in one globally ordered,
+	// rank-attributed sequence (merged logs only).
+	Timeline []MergedSegment
+	// DroppedSegments sums DXT segments lost to per-record memory bounds
+	// (merged logs only; single logs keep the count per DXT record).
+	DroppedSegments int64
 }
 
-// WriteLog serializes the runtime's records. endTime is the job end in
-// seconds since job start (Darshan writes its log at application exit).
+// LogFromRuntime builds the single-process log view of a runtime's
+// records. endTime is the job end in seconds since job start (Darshan
+// writes its log at application exit).
+func LogFromRuntime(rt *Runtime, endTime float64) *Log {
+	return &Log{
+		Version: LogVersion,
+		JobEnd:  endTime,
+		NProcs:  1,
+		Names:   rt.NameRecords(),
+		Posix:   rt.Posix.copyRecords(),
+		Stdio:   rt.Stdio.copyRecords(),
+		DXT:     rt.DXT.copyRecords(),
+	}
+}
+
+// LogFromSnapshot builds the single-process log view of a job-end
+// snapshot (the per-rank logs of a cluster run). The snapshot time is the
+// job end.
+func LogFromSnapshot(snap *Snapshot) *Log {
+	return &Log{
+		Version: LogVersion,
+		JobEnd:  snap.Time,
+		NProcs:  1,
+		Names:   snap.Names,
+		Posix:   snap.Posix,
+		Stdio:   snap.Stdio,
+		DXT:     snap.DXT,
+	}
+}
+
+// Log builds the serializable log view of a cross-rank merge: nprocs is
+// the merged rank count, records keep their owning rank (or MergedRank),
+// and the timeline is stored as-is, rank attribution included.
+func (m *MergedLog) Log() *Log {
+	return &Log{
+		Version:         LogVersion,
+		JobEnd:          m.JobEnd,
+		NProcs:          int64(m.NProcs),
+		Merged:          true,
+		Names:           m.Names,
+		Posix:           m.Posix,
+		Stdio:           m.Stdio,
+		Timeline:        m.Timeline,
+		DroppedSegments: m.DroppedSegments,
+	}
+}
+
+// MergedLog converts a parsed merged-kind log back into the in-memory
+// merge result, the inverse of (*MergedLog).Log.
+func (l *Log) MergedLog() (*MergedLog, error) {
+	if !l.Merged {
+		return nil, fmt.Errorf("%w: not a merged log (nprocs %d)", ErrBadLog, l.NProcs)
+	}
+	return &MergedLog{
+		NProcs:          int(l.NProcs),
+		JobEnd:          l.JobEnd,
+		Names:           l.Names,
+		Posix:           l.Posix,
+		Stdio:           l.Stdio,
+		Timeline:        l.Timeline,
+		DroppedSegments: l.DroppedSegments,
+	}, nil
+}
+
+// WriteLog serializes the runtime's records as a single-process log.
+// endTime is the job end in seconds since job start.
 func WriteLog(w io.Writer, rt *Runtime, endTime float64) error {
+	return LogFromRuntime(rt, endTime).Write(w)
+}
+
+// WriteSnapshotLog serializes a job-end snapshot as a single-process log
+// (one per-rank darshan log of a cluster run).
+func WriteSnapshotLog(w io.Writer, snap *Snapshot) error {
+	return LogFromSnapshot(snap).Write(w)
+}
+
+// WriteMergedLog serializes a cross-rank merge as a merged-kind log:
+// header with nprocs > 1, rank −1 shared records, and the rank-attributed
+// DXT timeline in global start-time order.
+func WriteMergedLog(w io.Writer, m *MergedLog) error {
+	return m.Log().Write(w)
+}
+
+// logEncoder wraps the compressed stream with sticky-error binary writes.
+type logEncoder struct {
+	zw  *gzip.Writer
+	err error
+}
+
+func (e *logEncoder) val(v any) {
+	if e.err == nil {
+		e.err = binary.Write(e.zw, binary.LittleEndian, v)
+	}
+}
+
+func (e *logEncoder) bytes(b []byte) {
+	if e.err == nil {
+		_, e.err = e.zw.Write(b)
+	}
+}
+
+// Write serializes the log. The encoding is canonical: the name table is
+// written in ascending record-id order and record blocks in slice order,
+// so writing a freshly parsed log reproduces the input bytes exactly.
+func (l *Log) Write(w io.Writer) error {
 	if _, err := w.Write(logMagic[:]); err != nil {
 		return err
 	}
 	if err := binary.Write(w, binary.LittleEndian, LogVersion); err != nil {
 		return err
 	}
-	zw := gzip.NewWriter(w)
-	le := binary.LittleEndian
-	wr := func(v any) error { return binary.Write(zw, le, v) }
+	e := &logEncoder{zw: gzip.NewWriter(w)}
+
+	kind := logKindSingle
+	if l.Merged {
+		kind = logKindMerged
+	}
+	e.val(kind)
 
 	// Job record.
-	if err := wr(endTime); err != nil {
-		return err
-	}
-	if err := wr(int64(1)); err != nil { // nprocs: non-MPI runtime
-		return err
-	}
+	e.val(l.JobEnd)
+	e.val(l.NProcs)
 
-	// Name table (first-seen order for determinism).
-	if err := wr(uint32(len(rt.nameOrder))); err != nil {
-		return err
+	// Name table, ascending id for a canonical byte stream.
+	ids := make([]uint64, 0, len(l.Names))
+	for id := range l.Names {
+		ids = append(ids, id)
 	}
-	for _, id := range rt.nameOrder {
-		name := rt.names[id]
-		if err := wr(id); err != nil {
-			return err
-		}
-		if err := wr(uint16(len(name))); err != nil {
-			return err
-		}
-		if _, err := zw.Write([]byte(name)); err != nil {
-			return err
-		}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	e.val(uint32(len(ids)))
+	for _, id := range ids {
+		name := l.Names[id]
+		e.val(id)
+		e.val(uint16(len(name)))
+		e.bytes([]byte(name))
 	}
 
 	// POSIX module block.
-	posix := rt.Posix.copyRecords()
-	if err := wr(uint32(len(posix))); err != nil {
-		return err
-	}
-	for i := range posix {
-		r := &posix[i]
-		if err := wr(r.ID); err != nil {
-			return err
-		}
-		if err := wr(int64(r.Rank)); err != nil {
-			return err
-		}
-		if err := wr(r.Counters[:]); err != nil {
-			return err
-		}
-		if err := wr(r.FCounters[:]); err != nil {
-			return err
-		}
+	e.val(uint32(len(l.Posix)))
+	for i := range l.Posix {
+		r := &l.Posix[i]
+		e.val(r.ID)
+		e.val(int64(r.Rank))
+		e.val(r.Counters[:])
+		e.val(r.FCounters[:])
 	}
 
 	// STDIO module block.
-	stdio := rt.Stdio.copyRecords()
-	if err := wr(uint32(len(stdio))); err != nil {
-		return err
-	}
-	for i := range stdio {
-		r := &stdio[i]
-		if err := wr(r.ID); err != nil {
-			return err
-		}
-		if err := wr(int64(r.Rank)); err != nil {
-			return err
-		}
-		if err := wr(r.Counters[:]); err != nil {
-			return err
-		}
-		if err := wr(r.FCounters[:]); err != nil {
-			return err
-		}
+	e.val(uint32(len(l.Stdio)))
+	for i := range l.Stdio {
+		r := &l.Stdio[i]
+		e.val(r.ID)
+		e.val(int64(r.Rank))
+		e.val(r.Counters[:])
+		e.val(r.FCounters[:])
 	}
 
-	// DXT block.
-	dxt := rt.DXT.copyRecords()
-	if err := wr(uint32(len(dxt))); err != nil {
-		return err
-	}
-	writeSegs := func(segs []Segment) error {
-		if err := wr(uint32(len(segs))); err != nil {
-			return err
-		}
-		for _, s := range segs {
-			if err := wr(s.Offset); err != nil {
-				return err
+	if l.Merged {
+		// Merged DXT: one flat rank-attributed timeline in stored order
+		// (globally sorted by start time by the merger).
+		e.val(l.DroppedSegments)
+		e.val(uint32(len(l.Timeline)))
+		for i := range l.Timeline {
+			s := &l.Timeline[i]
+			e.val(s.ID)
+			e.val(int32(s.Rank))
+			var write byte
+			if s.Write {
+				write = 1
 			}
-			if err := wr(s.Length); err != nil {
-				return err
-			}
-			if err := wr(s.Start); err != nil {
-				return err
-			}
-			if err := wr(s.End); err != nil {
-				return err
-			}
-			if err := wr(int32(s.TID)); err != nil {
-				return err
-			}
+			e.val(write)
+			e.val(s.Offset)
+			e.val(s.Length)
+			e.val(s.Start)
+			e.val(s.End)
+			e.val(int32(s.TID))
 		}
-		return nil
-	}
-	for i := range dxt {
-		r := &dxt[i]
-		if err := wr(r.ID); err != nil {
-			return err
-		}
-		if err := wr(r.Dropped); err != nil {
-			return err
-		}
-		if err := writeSegs(r.ReadSegs); err != nil {
-			return err
-		}
-		if err := writeSegs(r.WriteSegs); err != nil {
-			return err
+	} else {
+		// Single-process DXT: per-file records.
+		e.val(uint32(len(l.DXT)))
+		for i := range l.DXT {
+			r := &l.DXT[i]
+			e.val(r.ID)
+			e.val(r.Dropped)
+			for _, segs := range [2][]Segment{r.ReadSegs, r.WriteSegs} {
+				e.val(uint32(len(segs)))
+				for _, s := range segs {
+					e.val(s.Offset)
+					e.val(s.Length)
+					e.val(s.Start)
+					e.val(s.End)
+					e.val(int32(s.TID))
+				}
+			}
 		}
 	}
-	return zw.Close()
+	if e.err != nil {
+		return e.err
+	}
+	return e.zw.Close()
 }
 
-// ParseLog reads a log written by WriteLog.
-func ParseLog(r io.Reader) (*Log, error) {
+// logDecoder wraps the compressed stream with sticky-error binary reads.
+type logDecoder struct {
+	zr  io.Reader
+	err error
+}
+
+func (d *logDecoder) val(v any) bool {
+	if d.err != nil {
+		return false
+	}
+	d.err = binary.Read(d.zr, binary.LittleEndian, v)
+	return d.err == nil
+}
+
+func (d *logDecoder) fail(format string, args ...any) error {
+	if d.err != nil {
+		return fmt.Errorf("%w: %s: %v", ErrBadLog, fmt.Sprintf(format, args...), d.err)
+	}
+	return fmt.Errorf("%w: %s", ErrBadLog, fmt.Sprintf(format, args...))
+}
+
+// count reads a u32 element count and validates it against a bound.
+func (d *logDecoder) count(what string, max uint32) (int, error) {
+	var n uint32
+	if !d.val(&n) {
+		return 0, d.fail("%s count", what)
+	}
+	if n > max {
+		return 0, fmt.Errorf("%w: %s count %d exceeds bound %d", ErrBadLog, what, n, max)
+	}
+	return int(n), nil
+}
+
+// finiteTime reports whether v is a usable log timestamp: finite and
+// non-negative (all times are seconds since job start).
+func finiteTime(v float64) bool {
+	return !math.IsNaN(v) && !math.IsInf(v, 0) && v >= 0
+}
+
+// ReadLog decodes a log written by (*Log).Write — either kind. The
+// decoder validates structure as it goes (magic, version, kind, rank
+// ranges, count bounds, time sanity) and returns ErrBadLog-wrapped errors
+// on any malformed input; it never panics and its allocations are bounded
+// by the actual decoded payload.
+func ReadLog(r io.Reader) (*Log, error) {
 	var magic [8]byte
 	if _, err := io.ReadFull(r, magic[:]); err != nil {
 		return nil, fmt.Errorf("%w: %v", ErrBadLog, err)
@@ -168,137 +336,239 @@ func ParseLog(r io.Reader) (*Log, error) {
 		return nil, fmt.Errorf("%w: bad magic", ErrBadLog)
 	}
 	log := &Log{Names: make(map[uint64]string)}
-	le := binary.LittleEndian
-	if err := binary.Read(r, le, &log.Version); err != nil {
+	if err := binary.Read(r, binary.LittleEndian, &log.Version); err != nil {
 		return nil, fmt.Errorf("%w: %v", ErrBadLog, err)
+	}
+	if log.Version != LogVersion {
+		return nil, fmt.Errorf("%w: unsupported version %d (want %d)", ErrBadLog, log.Version, LogVersion)
 	}
 	zr, err := gzip.NewReader(r)
 	if err != nil {
 		return nil, fmt.Errorf("%w: %v", ErrBadLog, err)
 	}
 	defer zr.Close()
-	rd := func(v any) error { return binary.Read(zr, le, v) }
+	d := &logDecoder{zr: zr}
 
-	if err := rd(&log.JobEnd); err != nil {
-		return nil, fmt.Errorf("%w: job record: %v", ErrBadLog, err)
+	var kind byte
+	if !d.val(&kind) {
+		return nil, d.fail("kind")
 	}
-	if err := rd(&log.NProcs); err != nil {
-		return nil, fmt.Errorf("%w: job record: %v", ErrBadLog, err)
+	switch kind {
+	case logKindSingle:
+	case logKindMerged:
+		log.Merged = true
+	default:
+		return nil, fmt.Errorf("%w: unknown log kind %d", ErrBadLog, kind)
 	}
 
-	var nNames uint32
-	if err := rd(&nNames); err != nil {
-		return nil, fmt.Errorf("%w: name table: %v", ErrBadLog, err)
+	// Job record.
+	if !d.val(&log.JobEnd) || !d.val(&log.NProcs) {
+		return nil, d.fail("job record")
 	}
-	for i := uint32(0); i < nNames; i++ {
+	if !finiteTime(log.JobEnd) {
+		return nil, fmt.Errorf("%w: job end time %v", ErrBadLog, log.JobEnd)
+	}
+	if log.NProcs < 1 || log.NProcs > maxLogNProcs {
+		return nil, fmt.Errorf("%w: nprocs %d out of range", ErrBadLog, log.NProcs)
+	}
+	if !log.Merged && log.NProcs != 1 {
+		return nil, fmt.Errorf("%w: single-process log with nprocs %d", ErrBadLog, log.NProcs)
+	}
+
+	// Name table.
+	nNames, err := d.count("name table", maxLogNames)
+	if err != nil {
+		return nil, err
+	}
+	for i := 0; i < nNames; i++ {
 		var id uint64
 		var ln uint16
-		if err := rd(&id); err != nil {
-			return nil, fmt.Errorf("%w: name table: %v", ErrBadLog, err)
-		}
-		if err := rd(&ln); err != nil {
-			return nil, fmt.Errorf("%w: name table: %v", ErrBadLog, err)
+		if !d.val(&id) || !d.val(&ln) {
+			return nil, d.fail("name table entry %d", i)
 		}
 		buf := make([]byte, ln)
 		if _, err := io.ReadFull(zr, buf); err != nil {
-			return nil, fmt.Errorf("%w: name table: %v", ErrBadLog, err)
+			return nil, fmt.Errorf("%w: name table entry %d: %v", ErrBadLog, i, err)
 		}
 		log.Names[id] = string(buf)
 	}
 
-	var nPosix uint32
-	if err := rd(&nPosix); err != nil {
-		return nil, fmt.Errorf("%w: posix block: %v", ErrBadLog, err)
-	}
-	log.Posix = make([]PosixRecord, nPosix)
-	for i := range log.Posix {
-		rec := &log.Posix[i]
-		var rank int64
-		if err := rd(&rec.ID); err != nil {
-			return nil, fmt.Errorf("%w: posix block: %v", ErrBadLog, err)
+	// validRank checks a module record's rank field: single logs carry
+	// plain process ranks, merged logs additionally allow the shared
+	// sentinel; out-of-range ranks are corruption.
+	validRank := func(rank int64) bool {
+		if log.Merged {
+			return rank >= MergedRank && rank < log.NProcs
 		}
-		if err := rd(&rank); err != nil {
-			return nil, fmt.Errorf("%w: posix block: %v", ErrBadLog, err)
-		}
-		rec.Rank = int(rank)
-		if err := rd(rec.Counters[:]); err != nil {
-			return nil, fmt.Errorf("%w: posix block: %v", ErrBadLog, err)
-		}
-		if err := rd(rec.FCounters[:]); err != nil {
-			return nil, fmt.Errorf("%w: posix block: %v", ErrBadLog, err)
-		}
+		return rank >= 0
 	}
 
-	var nStdio uint32
-	if err := rd(&nStdio); err != nil {
-		return nil, fmt.Errorf("%w: stdio block: %v", ErrBadLog, err)
+	// POSIX module block.
+	nPosix, err := d.count("posix block", maxLogRecords)
+	if err != nil {
+		return nil, err
 	}
-	log.Stdio = make([]StdioRecord, nStdio)
-	for i := range log.Stdio {
-		rec := &log.Stdio[i]
-		var rank int64
-		if err := rd(&rec.ID); err != nil {
-			return nil, fmt.Errorf("%w: stdio block: %v", ErrBadLog, err)
+	for i := 0; i < nPosix; i++ {
+		if log.Posix == nil {
+			log.Posix = make([]PosixRecord, 0, min(nPosix, logAllocChunk))
 		}
-		if err := rd(&rank); err != nil {
-			return nil, fmt.Errorf("%w: stdio block: %v", ErrBadLog, err)
+		var rec PosixRecord
+		var rank int64
+		if !d.val(&rec.ID) || !d.val(&rank) || !d.val(rec.Counters[:]) || !d.val(rec.FCounters[:]) {
+			return nil, d.fail("posix record %d", i)
+		}
+		if !validRank(rank) {
+			return nil, fmt.Errorf("%w: posix record %d: rank %d out of range (nprocs %d)", ErrBadLog, i, rank, log.NProcs)
 		}
 		rec.Rank = int(rank)
-		if err := rd(rec.Counters[:]); err != nil {
-			return nil, fmt.Errorf("%w: stdio block: %v", ErrBadLog, err)
-		}
-		if err := rd(rec.FCounters[:]); err != nil {
-			return nil, fmt.Errorf("%w: stdio block: %v", ErrBadLog, err)
-		}
+		log.Posix = append(log.Posix, rec)
 	}
 
-	var nDXT uint32
-	if err := rd(&nDXT); err != nil {
-		return nil, fmt.Errorf("%w: dxt block: %v", ErrBadLog, err)
+	// STDIO module block.
+	nStdio, err := d.count("stdio block", maxLogRecords)
+	if err != nil {
+		return nil, err
 	}
-	log.DXT = make([]DXTRecord, nDXT)
-	readSegs := func() ([]Segment, error) {
-		var n uint32
-		if err := rd(&n); err != nil {
+	for i := 0; i < nStdio; i++ {
+		if log.Stdio == nil {
+			log.Stdio = make([]StdioRecord, 0, min(nStdio, logAllocChunk))
+		}
+		var rec StdioRecord
+		var rank int64
+		if !d.val(&rec.ID) || !d.val(&rank) || !d.val(rec.Counters[:]) || !d.val(rec.FCounters[:]) {
+			return nil, d.fail("stdio record %d", i)
+		}
+		if !validRank(rank) {
+			return nil, fmt.Errorf("%w: stdio record %d: rank %d out of range (nprocs %d)", ErrBadLog, i, rank, log.NProcs)
+		}
+		rec.Rank = int(rank)
+		log.Stdio = append(log.Stdio, rec)
+	}
+
+	if log.Merged {
+		if err := readTimeline(d, log); err != nil {
 			return nil, err
 		}
-		segs := make([]Segment, n)
-		for i := range segs {
-			s := &segs[i]
-			var tid int32
-			if err := rd(&s.Offset); err != nil {
-				return nil, err
-			}
-			if err := rd(&s.Length); err != nil {
-				return nil, err
-			}
-			if err := rd(&s.Start); err != nil {
-				return nil, err
-			}
-			if err := rd(&s.End); err != nil {
-				return nil, err
-			}
-			if err := rd(&tid); err != nil {
-				return nil, err
-			}
-			s.TID = int(tid)
+	} else {
+		if err := readDXTRecords(d, log); err != nil {
+			return nil, err
 		}
-		return segs, nil
 	}
-	for i := range log.DXT {
-		rec := &log.DXT[i]
-		if err := rd(&rec.ID); err != nil {
-			return nil, fmt.Errorf("%w: dxt block: %v", ErrBadLog, err)
-		}
-		if err := rd(&rec.Dropped); err != nil {
-			return nil, fmt.Errorf("%w: dxt block: %v", ErrBadLog, err)
-		}
-		if rec.ReadSegs, err = readSegs(); err != nil {
-			return nil, fmt.Errorf("%w: dxt block: %v", ErrBadLog, err)
-		}
-		if rec.WriteSegs, err = readSegs(); err != nil {
-			return nil, fmt.Errorf("%w: dxt block: %v", ErrBadLog, err)
-		}
+
+	// The blocks must consume the compressed stream exactly: trailing
+	// bytes mean a corrupt count field upstream.
+	var trailer [1]byte
+	if n, err := zr.Read(trailer[:]); n != 0 || err != io.EOF {
+		return nil, fmt.Errorf("%w: trailing data after final block", ErrBadLog)
 	}
 	return log, nil
 }
+
+// readSegment decodes and validates one DXT segment.
+func readSegment(d *logDecoder, s *Segment, what string, i int) error {
+	var tid int32
+	if !d.val(&s.Offset) || !d.val(&s.Length) || !d.val(&s.Start) || !d.val(&s.End) || !d.val(&tid) {
+		return d.fail("%s %d", what, i)
+	}
+	if s.Offset < 0 || s.Length < 0 || s.Length > math.MaxInt64-s.Offset || tid < 0 ||
+		!finiteTime(s.Start) || !finiteTime(s.End) || s.End < s.Start {
+		return fmt.Errorf("%w: %s %d: invalid segment geometry", ErrBadLog, what, i)
+	}
+	s.TID = int(tid)
+	return nil
+}
+
+// readDXTRecords decodes the per-file DXT block of a single-process log.
+func readDXTRecords(d *logDecoder, log *Log) error {
+	nDXT, err := d.count("dxt block", maxLogRecords)
+	if err != nil {
+		return err
+	}
+	for i := 0; i < nDXT; i++ {
+		if log.DXT == nil {
+			log.DXT = make([]DXTRecord, 0, min(nDXT, logAllocChunk))
+		}
+		var rec DXTRecord
+		if !d.val(&rec.ID) || !d.val(&rec.Dropped) {
+			return d.fail("dxt record %d", i)
+		}
+		if rec.Dropped < 0 {
+			return fmt.Errorf("%w: dxt record %d: negative drop count", ErrBadLog, i)
+		}
+		for dir, out := range [2]*[]Segment{&rec.ReadSegs, &rec.WriteSegs} {
+			what := [2]string{"dxt read segment", "dxt write segment"}[dir]
+			nSegs, err := d.count(what, maxLogSegments)
+			if err != nil {
+				return err
+			}
+			for j := 0; j < nSegs; j++ {
+				if *out == nil {
+					*out = make([]Segment, 0, min(nSegs, logAllocChunk))
+				}
+				var s Segment
+				if err := readSegment(d, &s, what, j); err != nil {
+					return err
+				}
+				*out = append(*out, s)
+			}
+		}
+		log.DXT = append(log.DXT, rec)
+	}
+	return nil
+}
+
+// readTimeline decodes the flat rank-attributed DXT timeline of a merged
+// log.
+func readTimeline(d *logDecoder, log *Log) error {
+	if !d.val(&log.DroppedSegments) {
+		return d.fail("timeline header")
+	}
+	if log.DroppedSegments < 0 {
+		return fmt.Errorf("%w: negative timeline drop count", ErrBadLog)
+	}
+	nSegs, err := d.count("timeline", maxLogSegments)
+	if err != nil {
+		return err
+	}
+	for i := 0; i < nSegs; i++ {
+		if log.Timeline == nil {
+			log.Timeline = make([]MergedSegment, 0, min(nSegs, logAllocChunk))
+		}
+		var ms MergedSegment
+		var rank int32
+		var write byte
+		if !d.val(&ms.ID) || !d.val(&rank) || !d.val(&write) {
+			return d.fail("timeline segment %d", i)
+		}
+		// Timeline segments are always owned by a concrete rank: the
+		// shared sentinel never appears here.
+		if rank < 0 || int64(rank) >= log.NProcs {
+			return fmt.Errorf("%w: timeline segment %d: rank %d out of range (nprocs %d)", ErrBadLog, i, rank, log.NProcs)
+		}
+		if write > 1 {
+			return fmt.Errorf("%w: timeline segment %d: direction flag %d", ErrBadLog, i, write)
+		}
+		ms.Rank = int(rank)
+		ms.Write = write == 1
+		if err := readSegment(d, &ms.Segment, "timeline segment", i); err != nil {
+			return err
+		}
+		log.Timeline = append(log.Timeline, ms)
+	}
+	return nil
+}
+
+// ReadMergedLog decodes a merged-kind log into the in-memory merge
+// result, the exact inverse of WriteMergedLog.
+func ReadMergedLog(r io.Reader) (*MergedLog, error) {
+	log, err := ReadLog(r)
+	if err != nil {
+		return nil, err
+	}
+	return log.MergedLog()
+}
+
+// ParseLog reads a log written by (*Log).Write.
+//
+// Deprecated: use ReadLog; ParseLog is kept for older callers.
+func ParseLog(r io.Reader) (*Log, error) { return ReadLog(r) }

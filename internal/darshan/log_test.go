@@ -3,6 +3,7 @@ package darshan
 import (
 	"bytes"
 	"errors"
+	"reflect"
 	"testing"
 	"testing/quick"
 
@@ -64,6 +65,168 @@ func TestLogRoundTrip(t *testing.T) {
 		if rec.ID == RecordID("/data/b.bytes") && len(rec.ReadSegs) != 5 {
 			t.Fatalf("b.bytes segments = %d", len(rec.ReadSegs))
 		}
+	}
+}
+
+// TestMergedLogRoundTrip: WriteMergedLog followed by ReadMergedLog is the
+// identity on the merge result — every counter, watermark, re-ranked
+// ACCESS entry, name and rank-attributed timeline segment survives.
+func TestMergedLogRoundTrip(t *testing.T) {
+	m := Merge(syntheticSnapshots())
+	var buf bytes.Buffer
+	if err := WriteMergedLog(&buf, m); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadMergedLog(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, m) {
+		t.Fatalf("merged log did not round-trip:\n got %+v\nwant %+v", got, m)
+	}
+	// The generic reader sees the same log with the merged kind flagged.
+	log, err := ReadLog(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !log.Merged || log.NProcs != int64(m.NProcs) {
+		t.Fatalf("header = merged %v nprocs %d", log.Merged, log.NProcs)
+	}
+	if log.DXT != nil {
+		t.Fatal("merged log decoded per-record DXT")
+	}
+}
+
+// TestLogWriteIsCanonical: re-serializing a parsed log reproduces the
+// input bytes exactly, for both kinds — the byte-level half of the
+// round-trip contract.
+func TestLogWriteIsCanonical(t *testing.T) {
+	r := newRig(DefaultConfig())
+	r.fs.CreateFile("/data/a.jpg", 88*1024)
+	r.run(t, func(th *sim.Thread) {
+		readWholeFileTFStyle(th, r.c, "/data/a.jpg", 1<<20)
+	})
+	var single bytes.Buffer
+	if err := WriteLog(&single, r.rt, 3.25); err != nil {
+		t.Fatal(err)
+	}
+	var merged bytes.Buffer
+	if err := WriteMergedLog(&merged, Merge(syntheticSnapshots())); err != nil {
+		t.Fatal(err)
+	}
+	for name, b := range map[string][]byte{"single": single.Bytes(), "merged": merged.Bytes()} {
+		log, err := ReadLog(bytes.NewReader(b))
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		var again bytes.Buffer
+		if err := log.Write(&again); err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if !bytes.Equal(again.Bytes(), b) {
+			t.Fatalf("%s: write(read(x)) diverged from x (%d vs %d bytes)", name, again.Len(), len(b))
+		}
+	}
+}
+
+// TestSnapshotLogRoundTrip covers the per-rank log path of a cluster run:
+// a job-end snapshot serialized with WriteSnapshotLog decodes to exactly
+// the snapshot's record set.
+func TestSnapshotLogRoundTrip(t *testing.T) {
+	snaps := syntheticSnapshots()
+	for rank, snap := range snaps {
+		var buf bytes.Buffer
+		if err := WriteSnapshotLog(&buf, snap); err != nil {
+			t.Fatal(err)
+		}
+		log, err := ReadLog(&buf)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if log.Merged || log.NProcs != 1 || log.JobEnd != snap.Time {
+			t.Fatalf("rank %d header: merged %v nprocs %d end %v", rank, log.Merged, log.NProcs, log.JobEnd)
+		}
+		if !reflect.DeepEqual(log.Posix, snap.Posix) || !reflect.DeepEqual(log.Stdio, snap.Stdio) ||
+			!reflect.DeepEqual(log.DXT, snap.DXT) || !reflect.DeepEqual(log.Names, snap.Names) {
+			t.Fatalf("rank %d snapshot did not round-trip", rank)
+		}
+	}
+}
+
+// corrupt returns a copy of b with the byte at i set to v.
+func corrupt(b []byte, i int, v byte) []byte {
+	out := append([]byte(nil), b...)
+	out[i] = v
+	return out
+}
+
+func TestReadLogRejectsStructuralCorruption(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteMergedLog(&buf, Merge(syntheticSnapshots())); err != nil {
+		t.Fatal(err)
+	}
+	valid := buf.Bytes()
+
+	cases := map[string][]byte{
+		"bad version":       corrupt(valid, 8, 0xFF),
+		"flipped magic":     corrupt(valid, 0, 'X'),
+		"corrupt gzip body": corrupt(valid, len(valid)/2, valid[len(valid)/2]^0xA5),
+		"truncated half":    valid[:len(valid)/2],
+		"truncated tail":    valid[:len(valid)-3],
+		"truncated header":  valid[:10],
+		"empty":             nil,
+		"magic only":        valid[:8],
+	}
+	for name, b := range cases {
+		if _, err := ReadLog(bytes.NewReader(b)); !errors.Is(err, ErrBadLog) {
+			t.Errorf("%s: err = %v, want ErrBadLog", name, err)
+		}
+	}
+
+	// Rank out of range: a merged log claiming nprocs=2 whose record rank
+	// or timeline rank escapes [-1, 2) must error, never mis-parse.
+	badRank := Merge(syntheticSnapshots())
+	badRank.Posix[0].Rank = 7
+	var bp bytes.Buffer
+	if err := WriteMergedLog(&bp, badRank); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ReadLog(bytes.NewReader(bp.Bytes())); !errors.Is(err, ErrBadLog) {
+		t.Errorf("record rank out of range: err = %v, want ErrBadLog", err)
+	}
+	badTL := Merge(syntheticSnapshots())
+	badTL.Timeline[0].Rank = -1 // sentinel is record-only; timelines carry concrete ranks
+	var bt bytes.Buffer
+	if err := WriteMergedLog(&bt, badTL); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ReadLog(bytes.NewReader(bt.Bytes())); !errors.Is(err, ErrBadLog) {
+		t.Errorf("timeline rank out of range: err = %v, want ErrBadLog", err)
+	}
+
+	// Segment geometry: a time window that ends before it starts is
+	// corruption, not data.
+	badSeg := Merge(syntheticSnapshots())
+	badSeg.Timeline[0].Start = 9.0
+	badSeg.Timeline[0].End = 1.0
+	var bs bytes.Buffer
+	if err := WriteMergedLog(&bs, badSeg); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ReadLog(bytes.NewReader(bs.Bytes())); !errors.Is(err, ErrBadLog) {
+		t.Errorf("inverted segment window: err = %v, want ErrBadLog", err)
+	}
+
+	// ReadMergedLog refuses single-kind logs.
+	r := newRig(DefaultConfig())
+	r.fs.CreateFile("/data/a.jpg", 4096)
+	r.run(t, func(th *sim.Thread) { readWholeFileTFStyle(th, r.c, "/data/a.jpg", 1<<20) })
+	var single bytes.Buffer
+	if err := WriteLog(&single, r.rt, 1); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ReadMergedLog(bytes.NewReader(single.Bytes())); !errors.Is(err, ErrBadLog) {
+		t.Errorf("ReadMergedLog on single log: err = %v, want ErrBadLog", err)
 	}
 }
 

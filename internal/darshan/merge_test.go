@@ -1,6 +1,7 @@
 package darshan
 
 import (
+	"bytes"
 	"reflect"
 	"sort"
 	"testing"
@@ -176,6 +177,70 @@ func TestMergeTimelineGloballyOrderedWithRankAttribution(t *testing.T) {
 	}
 	if writes != 1 {
 		t.Fatalf("writes in timeline = %d", writes)
+	}
+}
+
+// tieSnapshots builds two ranks whose combined access table is all count
+// ties: the merged ACCESS1..4 ranking is decided purely by the explicit
+// tie-break, and a fifth entry must be the one dropped.
+func tieSnapshots() []*Snapshot {
+	mk := func(rank int, sizes ...int64) *Snapshot {
+		rec := PosixRecord{ID: 5, Rank: rank}
+		for k, s := range sizes {
+			rec.Counters[POSIX_ACCESS1_ACCESS+PosixCounter(k)] = s
+			rec.Counters[POSIX_ACCESS1_COUNT+PosixCounter(k)] = 2
+		}
+		return &Snapshot{
+			Time:  1,
+			Posix: []PosixRecord{rec},
+			Names: map[uint64]string{5: "/pfs/tied"},
+		}
+	}
+	// Five distinct sizes across the ranks, every one with count 2.
+	return []*Snapshot{mk(0, 4096, 100, 9000), mk(1, 512, 70000)}
+}
+
+// TestMergeAccessTieBreakExplicit pins the re-ranking order of the merged
+// access table: count descending, count ties broken by ascending size
+// (accessEntryLess). With all counts tied, ACCESS1..4 must be the four
+// smallest sizes in ascending order, independent of which rank
+// contributed them or any map iteration order.
+func TestMergeAccessTieBreakExplicit(t *testing.T) {
+	m := Merge(tieSnapshots())
+	if len(m.Posix) != 1 {
+		t.Fatalf("records = %d", len(m.Posix))
+	}
+	rec := &m.Posix[0]
+	wantSizes := []int64{100, 512, 4096, 9000} // 70000 drops: same count, largest size
+	for k, want := range wantSizes {
+		if got := rec.Counters[POSIX_ACCESS1_ACCESS+PosixCounter(k)]; got != want {
+			t.Errorf("ACCESS%d size = %d, want %d", k+1, got, want)
+		}
+		if got := rec.Counters[POSIX_ACCESS1_COUNT+PosixCounter(k)]; got != 2 {
+			t.Errorf("ACCESS%d count = %d, want 2", k+1, got)
+		}
+	}
+}
+
+// TestMergedLogByteStableAcrossMapOrder: merging the same inputs many
+// times (each merge iterating Go's randomized map order differently) must
+// serialize to the same bytes every time — the property the explicit
+// tie-break exists to guarantee.
+func TestMergedLogByteStableAcrossMapOrder(t *testing.T) {
+	serialize := func(snaps []*Snapshot) []byte {
+		var buf bytes.Buffer
+		if err := WriteMergedLog(&buf, Merge(snaps)); err != nil {
+			t.Fatal(err)
+		}
+		return buf.Bytes()
+	}
+	for _, mk := range []func() []*Snapshot{tieSnapshots, syntheticSnapshots} {
+		want := serialize(mk())
+		for i := 0; i < 32; i++ {
+			if got := serialize(mk()); !bytes.Equal(got, want) {
+				t.Fatalf("merged log bytes unstable at iteration %d", i)
+			}
+		}
 	}
 }
 

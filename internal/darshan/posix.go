@@ -71,6 +71,19 @@ func (rec *PosixRecord) clearAccessState() {
 	rec.accessSizes = nil
 }
 
+// clearRuntimeState strips everything a serialized record cannot carry:
+// the access table plus the sequential/consecutive classification
+// cursors. Snapshot copies go through it so a snapshot equals its own
+// log round trip field for field.
+func (rec *PosixRecord) clearRuntimeState() {
+	rec.clearAccessState()
+	rec.lastByteRead = 0
+	rec.lastByteWritten = 0
+	rec.lastOpWasWrite = false
+	rec.everRead = false
+	rec.everWritten = false
+}
+
 // Name is resolved through the runtime name registry by callers; records
 // themselves carry only the id, as in Darshan's binary format.
 
@@ -112,11 +125,16 @@ func (m *PosixModule) Records() []*PosixRecord {
 }
 
 func (m *PosixModule) copyRecords() []PosixRecord {
+	// nil when empty: snapshots and decoded logs agree exactly (the log
+	// decoder leaves absent blocks nil).
+	if len(m.order) == 0 {
+		return nil
+	}
 	out := make([]PosixRecord, 0, len(m.order))
 	for _, id := range m.order {
 		rec := *m.records[id] // value copy: counter arrays are copied
 		finalizeAccessCounters(&rec)
-		rec.clearAccessState()
+		rec.clearRuntimeState()
 		out = append(out, rec)
 	}
 	return out

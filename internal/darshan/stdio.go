@@ -52,6 +52,9 @@ func (m *StdioModule) Records() []*StdioRecord {
 }
 
 func (m *StdioModule) copyRecords() []StdioRecord {
+	if len(m.order) == 0 {
+		return nil // match the log decoder's absent-block convention
+	}
 	out := make([]StdioRecord, 0, len(m.order))
 	for _, id := range m.order {
 		out = append(out, *m.records[id])

@@ -18,6 +18,7 @@
 package distributed
 
 import (
+	"bytes"
 	"fmt"
 
 	"repro/internal/darshan"
@@ -25,6 +26,7 @@ import (
 	"repro/internal/sim"
 	"repro/internal/tf/keras"
 	"repro/internal/tf/tfdata"
+	"repro/internal/tf/tfio"
 )
 
 // DefaultLinkBandwidth is the interconnect bandwidth of the allreduce
@@ -50,6 +52,11 @@ type Options struct {
 	// list with the same seed and then shards, the standard data-parallel
 	// recipe that keeps shards disjoint.
 	Shuffle int64
+	// SharedPaths are files every rank reads once before training (a
+	// dataset manifest, a replicated validation set): the overlapping-read
+	// pattern that produces Darshan's shared (rank −1) records in the
+	// merged log. Empty leaves the run's record set exactly as before.
+	SharedPaths []string
 	// Model builds one model replica per rank (nil trains without compute,
 	// the STREAM configuration).
 	Model func() *keras.Model
@@ -94,6 +101,37 @@ type Result struct {
 	Steps int
 	// WallSeconds is the virtual duration of the whole job.
 	WallSeconds float64
+}
+
+// LogSet is the serialized Darshan artifacts of one cluster run: the
+// merged cross-rank log plus one single-process log per rank, the file
+// set Darshan's MPI build leaves behind (shared reduction + per-rank
+// logs).
+type LogSet struct {
+	// Merged is the merged-kind darshan.log: header with nprocs = ranks,
+	// rank −1 shared records, rank-attributed DXT timeline.
+	Merged []byte
+	// PerRank holds one single-process darshan log per rank, rank order.
+	PerRank [][]byte
+}
+
+// SerializeLogs writes the run's Darshan record sets as real log files:
+// one merged log for the whole cluster run and one per-rank log each, all
+// round-trippable through darshan.ReadLog/ReadMergedLog.
+func (r *Result) SerializeLogs() (*LogSet, error) {
+	var merged bytes.Buffer
+	if err := darshan.WriteMergedLog(&merged, r.Merged); err != nil {
+		return nil, fmt.Errorf("distributed: merged log: %w", err)
+	}
+	set := &LogSet{Merged: merged.Bytes(), PerRank: make([][]byte, len(r.PerRank))}
+	for i := range r.PerRank {
+		var buf bytes.Buffer
+		if err := darshan.WriteSnapshotLog(&buf, r.PerRank[i].Snapshot); err != nil {
+			return nil, fmt.Errorf("distributed: rank %d log: %w", i, err)
+		}
+		set.PerRank[i] = buf.Bytes()
+	}
+	return set, nil
 }
 
 // lockstepSteps returns the number of steps every rank can run without
@@ -180,6 +218,16 @@ func Run(c *platform.Cluster, paths []string, opts Options) (*Result, error) {
 			}
 		}
 		c.K.Spawn(fmt.Sprintf("rank%d", r), func(t *sim.Thread) {
+			// Shared warm-up reads before the pipeline starts: every rank
+			// touches the same files, so the merged log carries rank −1
+			// shared records for them.
+			for _, p := range opts.SharedPaths {
+				if _, err := tfio.ReadFile(t, node.Env, p); err != nil {
+					errs[r] = err
+					drainBarrier(t)
+					return
+				}
+			}
 			ds := tfdata.FromFiles(node.Env, paths).Shuffle(opts.Shuffle).Shard(ranks, r)
 			shardFiles := ds.Size()
 			if epochs > 1 {

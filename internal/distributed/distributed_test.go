@@ -1,6 +1,7 @@
 package distributed
 
 import (
+	"bytes"
 	"reflect"
 	"testing"
 
@@ -250,6 +251,120 @@ func TestEpochsAndInterleave(t *testing.T) {
 		if r.ShardFiles != 12 { // the shard itself, not shard x epochs
 			t.Fatalf("rank %d shard files = %d, want 12", r.Rank, r.ShardFiles)
 		}
+	}
+}
+
+// TestLogSerializationRoundTrip is the serialization half of the merge
+// contract, table-driven over the rank ladder: for every rank count the
+// merged log and each per-rank log survive WriteMergedLog/WriteSnapshotLog
+// → ReadMergedLog/ReadLog with every counter, watermark, ACCESS entry,
+// name and DXT segment exactly intact.
+func TestLogSerializationRoundTrip(t *testing.T) {
+	for _, ranks := range []int{1, 2, 4, 8} {
+		res := runRanks(t, ranks, 64, defaultOpts())
+		logs, err := res.SerializeLogs()
+		if err != nil {
+			t.Fatalf("ranks=%d: %v", ranks, err)
+		}
+		merged, err := darshan.ReadMergedLog(bytes.NewReader(logs.Merged))
+		if err != nil {
+			t.Fatalf("ranks=%d: merged decode: %v", ranks, err)
+		}
+		if !reflect.DeepEqual(merged, res.Merged) {
+			t.Fatalf("ranks=%d: merged log did not round-trip", ranks)
+		}
+		if merged.NProcs != ranks {
+			t.Fatalf("ranks=%d: decoded nprocs %d", ranks, merged.NProcs)
+		}
+		if len(logs.PerRank) != ranks {
+			t.Fatalf("ranks=%d: %d per-rank logs", ranks, len(logs.PerRank))
+		}
+		for r, b := range logs.PerRank {
+			log, err := darshan.ReadLog(bytes.NewReader(b))
+			if err != nil {
+				t.Fatalf("ranks=%d rank %d: %v", ranks, r, err)
+			}
+			snap := res.PerRank[r].Snapshot
+			if log.Merged || log.NProcs != 1 || log.JobEnd != snap.Time {
+				t.Fatalf("ranks=%d rank %d header: merged %v nprocs %d end %v",
+					ranks, r, log.Merged, log.NProcs, log.JobEnd)
+			}
+			if !reflect.DeepEqual(log.Posix, snap.Posix) || !reflect.DeepEqual(log.Stdio, snap.Stdio) ||
+				!reflect.DeepEqual(log.DXT, snap.DXT) || !reflect.DeepEqual(log.Names, snap.Names) {
+				t.Fatalf("ranks=%d rank %d record set did not round-trip", ranks, r)
+			}
+		}
+	}
+}
+
+// TestSharedPathsProduceSharedRecords: files every rank reads before
+// training merge into Darshan's shared-record convention — one rank −1
+// record whose counters sum the per-rank contributions — while shard
+// files keep their owning ranks.
+func TestSharedPathsProduceSharedRecords(t *testing.T) {
+	const ranks, manifestSize = 4, 2048
+	c := platform.NewKebnekaiseCluster(ranks, platform.Options{PreloadDarshan: true})
+	d := buildDataset(t, c, 32)
+	manifest := platform.KebnekaiseLustre + "/dist/MANIFEST"
+	if _, err := c.FS.CreateFile(manifest, manifestSize); err != nil {
+		t.Fatal(err)
+	}
+	opts := defaultOpts()
+	opts.SharedPaths = []string{manifest}
+	res, err := Run(c, d.Paths, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Each rank's own log carries its manifest read under its own rank.
+	id := darshan.RecordID(manifest)
+	for _, rr := range res.PerRank {
+		rec, ok := rr.Snapshot.PosixByID(id)
+		if !ok {
+			t.Fatalf("rank %d never read the manifest", rr.Rank)
+		}
+		if rec.Rank != rr.Rank || rec.Counters[darshan.POSIX_OPENS] != 1 ||
+			rec.Counters[darshan.POSIX_BYTES_READ] != manifestSize {
+			t.Fatalf("rank %d manifest record: %+v", rr.Rank, rec)
+		}
+	}
+	// The merge reduces them to one rank −1 shared record.
+	var shared *darshan.PosixRecord
+	for i := range res.Merged.Posix {
+		if res.Merged.Posix[i].ID == id {
+			shared = &res.Merged.Posix[i]
+		}
+	}
+	if shared == nil {
+		t.Fatal("manifest missing from merged log")
+	}
+	if shared.Rank != darshan.MergedRank {
+		t.Fatalf("manifest rank = %d, want %d", shared.Rank, darshan.MergedRank)
+	}
+	if got := shared.Counters[darshan.POSIX_OPENS]; got != ranks {
+		t.Fatalf("manifest opens = %d, want %d", got, ranks)
+	}
+	if got := shared.Counters[darshan.POSIX_BYTES_READ]; got != int64(ranks)*manifestSize {
+		t.Fatalf("manifest bytes = %d, want %d", got, ranks*manifestSize)
+	}
+	// And the serialized merged log keeps the sentinel through a round
+	// trip.
+	logs, err := res.SerializeLogs()
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := darshan.ReadMergedLog(bytes.NewReader(logs.Merged))
+	if err != nil {
+		t.Fatal(err)
+	}
+	found := false
+	for i := range m.Posix {
+		if m.Posix[i].ID == id && m.Posix[i].Rank == darshan.MergedRank {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatal("shared record lost through serialization")
 	}
 }
 

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"bytes"
 	"fmt"
 	"strings"
 
@@ -37,6 +38,10 @@ type RanksRow struct {
 	MergedBytesRead int64
 	// TimelineSegs is the merged, rank-attributed DXT segment count.
 	TimelineSegs int
+	// MergedDarshanLog is the serialized merged-kind darshan.log of the
+	// sweep point (Config.KeepLogs only), already verified to round-trip
+	// through darshan.ReadMergedLog.
+	MergedDarshanLog []byte
 }
 
 // RanksResult is the distributed data-parallel scaling experiment: the
@@ -94,22 +99,30 @@ func (c Config) rankSweep() []int {
 	return append([]int(nil), DefaultRankSweep...)
 }
 
-// runRankCount executes one rank count of the sweep and folds the run
-// into a table row, verifying the merge invariant as it goes (a violated
-// reduction fails the experiment rather than mis-reporting bandwidth).
-func runRankCount(c Config, ranks int) (RanksRow, error) {
+// runDistributedImageNet executes the sweep's workload at one rank
+// count: the ImageNet corpus sharded over a Kebnekaise cluster on shared
+// Lustre. It is the shared engine of the ranks table and the distributed
+// artifact producer.
+func runDistributedImageNet(c Config, ranks int) (*distributed.Result, error) {
 	cluster := platform.NewKebnekaiseCluster(ranks, platform.Options{PreloadDarshan: true})
 	spec := workload.ImageNetSpec(platform.KebnekaiseLustre+"/imagenet", c.Scale)
 	d, err := workload.BuildImageNet(cluster.FS, spec)
 	if err != nil {
-		return RanksRow{}, err
+		return nil, err
 	}
-	res, err := distributed.Run(cluster, d.Paths, distributed.Options{
+	return distributed.Run(cluster, d.Paths, distributed.Options{
 		Threads: 4, Batch: 32, Prefetch: 10,
 		Shuffle: c.shuffleSeed(),
 		Model:   workload.AlexNet, MapFn: workload.ImageNetMap,
 		VerifyContent: c.VerifyContent,
 	})
+}
+
+// runRankCount executes one rank count of the sweep and folds the run
+// into a table row, verifying the merge invariant as it goes (a violated
+// reduction fails the experiment rather than mis-reporting bandwidth).
+func runRankCount(c Config, ranks int) (RanksRow, error) {
+	res, err := runDistributedImageNet(c, ranks)
 	if err != nil {
 		return RanksRow{}, err
 	}
@@ -143,6 +156,23 @@ func runRankCount(c Config, ranks int) (RanksRow, error) {
 	s := stats.Summarize(busy)
 	if s.Mean > 0 {
 		row.StragglerSpreadPct = (s.Max - s.Min) / s.Mean * 100
+	}
+	if c.KeepLogs {
+		logs, err := res.SerializeLogs()
+		if err != nil {
+			return RanksRow{}, err
+		}
+		// Every committed artifact must round-trip: decode the merged log
+		// and cross-check the header against the run before keeping it.
+		m, err := darshan.ReadMergedLog(bytes.NewReader(logs.Merged))
+		if err != nil {
+			return RanksRow{}, fmt.Errorf("ranks=%d: merged log does not round-trip: %w", ranks, err)
+		}
+		if m.NProcs != ranks || m.TotalPosix(darshan.POSIX_BYTES_READ) != mergedBytes {
+			return RanksRow{}, fmt.Errorf("ranks=%d: decoded merged log diverges (nprocs %d, bytes %d)",
+				ranks, m.NProcs, m.TotalPosix(darshan.POSIX_BYTES_READ))
+		}
+		row.MergedDarshanLog = logs.Merged
 	}
 	return row, nil
 }

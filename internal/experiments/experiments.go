@@ -45,6 +45,10 @@ type Config struct {
 	// means one worker per core. Kernels are independent, so results are
 	// byte-identical at any setting.
 	Parallel int
+	// KeepLogs makes the ranks sweep serialize each sweep point's merged
+	// Darshan log (round-trip verified) into its row. Off by default so
+	// the benchmarks don't pay serialization time.
+	KeepLogs bool
 }
 
 // DefaultConfig runs at paper scale.
