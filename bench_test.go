@@ -143,3 +143,13 @@ func runSuite(b *testing.B, parallel int) {
 // invariant is verified inside the experiment, so contention-path or
 // reduction regressions fail here, not just in unit tests.
 func BenchmarkRanksScaling(b *testing.B) { runArtifact(b, "ranks") }
+
+// BenchmarkTuneRankAware runs the rank-aware tuning experiment over the
+// same rank ladder: untuned 4-threads/rank on shared Lustre vs per-rank
+// threads/prefetch picked by cluster probes over the merged profile plus
+// each rank's shard staged to its node-local NVMe. The reported
+// ranks<N>_epoch_delta_s / ranks<N>_speedup_x metrics land in the
+// BENCH_<n>.json perf snapshots, so the tuned-vs-untuned gap is tracked
+// per commit. The staging-plan and same-bytes invariants are verified
+// inside the experiment.
+func BenchmarkTuneRankAware(b *testing.B) { runArtifact(b, "tune") }

@@ -19,6 +19,7 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"slices"
 	"time"
 
 	"repro/internal/experiments"
@@ -34,7 +35,8 @@ func main() {
 	scale := fs.Float64("scale", 1.0, "dataset/step scale factor (1.0 = paper scale)")
 	seed := fs.Int64("seed", 0, "shuffle seed perturbation")
 	verify := fs.Bool("verify", false, "materialize and checksum all read content (slow; validates the zero-materialization fast path)")
-	ranks := fs.Int("ranks", 0, "pin the distributed 'ranks' experiment to one rank count (0 = sweep 1,2,4,8)")
+	ranks := fs.Int("ranks", 0, "pin the distributed 'ranks'/'tune' experiments to one rank count (0 = sweep 1,2,4,8)")
+	tune := fs.Bool("tune", false, "run the rank-aware tuning experiment (adds 'tune' to the id list)")
 	parallel := fs.Int("parallel", 1, "simulation kernels to run concurrently on host CPUs (0 = one per core; results are byte-identical at any setting)")
 	outDir := fs.String("out", ".", "artifact output directory")
 	if err := fs.Parse(os.Args[2:]); err != nil {
@@ -72,6 +74,9 @@ func main() {
 			for _, r := range experiments.All() {
 				ids = append(ids, r.ID)
 			}
+		}
+		if *tune && !slices.Contains(ids, "tune") {
+			ids = append(ids, "tune")
 		}
 		if len(ids) == 0 {
 			usage()
@@ -127,12 +132,18 @@ func main() {
 func usage() {
 	fmt.Fprintln(os.Stderr, `usage:
   tfdarshan list
-  tfdarshan run       [-scale f] [-seed n] [-verify] [-ranks n] [-parallel n] <id>...|all
-  tfdarshan metrics   [-scale f] [-seed n] [-verify] [-ranks n] [-parallel n] <id>...|all
+  tfdarshan run       [-scale f] [-seed n] [-verify] [-ranks n] [-tune] [-parallel n] <id>...|all
+  tfdarshan metrics   [-scale f] [-seed n] [-verify] [-ranks n] [-tune] [-parallel n] <id>...|all
   tfdarshan artifacts [-scale f] [-ranks n] [-out dir] <imagenet|malware|distributed>
 
 the "ranks" experiment shards ImageNet over N data-parallel ranks on one
 shared Lustre system; -ranks pins it to a single rank count
+
+-tune (or the "tune" id) runs the rank-aware autotuning experiment: the
+untuned 4-threads/rank baseline vs. per-rank threads/prefetch picked by
+cluster-wide probes over the merged Darshan profile, with each rank's
+small-file shard staged to its node-local NVMe (e.g. "tfdarshan run
+-tune -ranks 4")
 
 "artifacts distributed" runs the cluster job at -ranks ranks (default 4)
 and writes the merged darshan.log (nprocs > 1, rank -1 shared records,

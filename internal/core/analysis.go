@@ -213,6 +213,15 @@ func Analyze(start, stop *darshan.Snapshot, lookup func(uint64) (string, bool), 
 	return out
 }
 
+// AnalyzeSnapshot treats a whole-run snapshot as one session from job
+// start: the diff against an empty baseline, so every counter the rank
+// accumulated lands in the statistics. This is how the cluster advisors
+// turn the per-rank job-end snapshots of a distributed run into the same
+// SessionStats the single-process advisors consume.
+func AnalyzeSnapshot(snap *darshan.Snapshot, sizeOf SizeOfFunc) *SessionStats {
+	return Analyze(&darshan.Snapshot{}, snap, nil, sizeOf)
+}
+
 // ToProto converts the analysis into the exported protobuf message.
 func (s *SessionStats) ToProto() *proto.DarshanProfile {
 	p := &proto.DarshanProfile{

@@ -11,6 +11,13 @@ import "fmt"
 // small-file corpora (ImageNet on Lustre, Fig. 7b) and hurt seek-bound
 // large-file corpora (malware on HDD, Fig. 11a), so the right setting
 // must be measured, not guessed.
+//
+// The walk is a two-phase hill-climb: double while bandwidth keeps
+// improving, and on the first regression (or a boundary bounce) reverse
+// from the best-known setting and halve while bandwidth holds ground —
+// so a tuner started above the optimum (the HDD case, e.g. start=8)
+// actually probes 4/2/1 instead of settling where it began. The second
+// regression reverts to the best observation and settles.
 type AutoTuner struct {
 	// Min and Max bound the candidate thread counts.
 	Min, Max int
@@ -21,6 +28,8 @@ type AutoTuner struct {
 	current   int
 	direction int // +1 growing, -1 shrinking
 	lastBW    float64
+	armed     bool // a positive-bandwidth baseline has been observed
+	reversals int  // direction flips so far; the walk settles on the second regression
 	settled   bool
 
 	// History records every observation.
@@ -57,10 +66,13 @@ func (at *AutoTuner) Current() int { return at.current }
 func (at *AutoTuner) Settled() bool { return at.settled }
 
 // Best returns the observation with the highest bandwidth so far.
+// Bandwidth ties resolve to the lowest thread count, so the answer is
+// deterministic (and frugal) on plateaus regardless of probe order.
 func (at *AutoTuner) Best() TuneObservation {
 	best := TuneObservation{Threads: at.current}
 	for _, o := range at.History {
-		if o.BandwidthMBps > best.BandwidthMBps {
+		if o.BandwidthMBps > best.BandwidthMBps ||
+			(o.BandwidthMBps == best.BandwidthMBps && o.Threads < best.Threads) {
 			best = o
 		}
 	}
@@ -69,28 +81,43 @@ func (at *AutoTuner) Best() TuneObservation {
 
 // Observe feeds the bandwidth measured with the current thread count and
 // returns the count to try next. Movement is multiplicative (double or
-// halve), which finds the Lustre-style knee in a handful of probes; a
-// regression reverts to the best-known setting and settles.
+// halve), which finds the Lustre-style knee in a handful of probes.
+// While climbing, continuing requires a meaningful gain; after the
+// reversal, shrinking only has to hold ground within Tolerance — fewer
+// threads at equal bandwidth are free. A non-positive bandwidth is
+// always a regression, never a baseline, so a dead storage path cannot
+// push the walk blindly to Max.
 func (at *AutoTuner) Observe(bandwidthMBps float64) int {
 	at.History = append(at.History, TuneObservation{Threads: at.current, BandwidthMBps: bandwidthMBps})
 	if at.settled {
 		return at.current
 	}
-	if at.lastBW > 0 {
-		change := (bandwidthMBps - at.lastBW) / at.lastBW
-		if change < at.Tolerance {
-			// No meaningful gain (or a loss): revert to the best-known
-			// configuration and stop moving.
-			at.current = at.Best().Threads
-			at.settled = true
-			return at.current
-		}
+	if bandwidthMBps <= 0 {
+		return at.regress()
+	}
+	if !at.armed {
+		at.armed = true
+		at.lastBW = bandwidthMBps
+		return at.step()
+	}
+	change := (bandwidthMBps - at.lastBW) / at.lastBW
+	ok := change >= at.Tolerance
+	if at.reversals > 0 {
+		ok = change > -at.Tolerance
+	}
+	if !ok {
+		return at.regress()
 	}
 	at.lastBW = bandwidthMBps
-	next := at.current
-	if at.direction > 0 {
-		next = at.current * 2
-	} else {
+	return at.step()
+}
+
+// step moves one multiplicative notch in the current direction. A move
+// clamped into place means the walk ran out of room: bounce once if the
+// other side of the start is still unexplored, settle otherwise.
+func (at *AutoTuner) step() int {
+	next := at.current * 2
+	if at.direction < 0 {
 		next = at.current / 2
 	}
 	if next > at.Max {
@@ -100,10 +127,42 @@ func (at *AutoTuner) Observe(bandwidthMBps float64) int {
 		next = at.Min
 	}
 	if next == at.current {
-		at.settled = true
-		return at.current
+		if at.reversals == 0 {
+			return at.reverse()
+		}
+		return at.settle()
 	}
 	at.current = next
+	return at.current
+}
+
+// regress handles a probe that lost (or failed to meaningfully gain)
+// bandwidth: the first one reverses the walk from the best-known
+// setting, the second reverts to it and settles.
+func (at *AutoTuner) regress() int {
+	if at.reversals == 0 {
+		return at.reverse()
+	}
+	return at.settle()
+}
+
+// reverse flips the climb direction and restarts the walk from the best
+// observation so far (when one exists): the shrink probes descend from
+// the revert point, comparing against its bandwidth.
+func (at *AutoTuner) reverse() int {
+	at.reversals++
+	at.direction = -at.direction
+	if best := at.Best(); best.BandwidthMBps > 0 {
+		at.current = best.Threads
+		at.lastBW = best.BandwidthMBps
+	}
+	return at.step()
+}
+
+// settle converges on the best-known configuration.
+func (at *AutoTuner) settle() int {
+	at.current = at.Best().Threads
+	at.settled = true
 	return at.current
 }
 
@@ -119,8 +178,7 @@ func (at *AutoTuner) Tune(probe func(threads int) (float64, error), maxProbes in
 		at.Observe(bw)
 	}
 	if !at.settled {
-		at.current = at.Best().Threads
-		at.settled = true
+		at.settle()
 	}
 	return at.current, nil
 }

@@ -63,6 +63,15 @@ const byteCostWeight = 2.0
 // encodes the reasoning the paper walks through with tf-Darshan's
 // file-size and read-size panels.
 func AdviseStaging(s *SessionStats, fastCapacity int64) *StagingAdvice {
+	return adviseStagingWeighted(s, fastCapacity, byteCostWeight)
+}
+
+// adviseStagingWeighted is the shared threshold scan behind the single-
+// process advisor (byteWeight = byteCostWeight, fast-tier bytes scarce)
+// and the cluster advisor's metadata-bound objective (byteWeight = 0,
+// node-local capacity roomy: every staged file saves a shared MDS RPC, so
+// the best feasible threshold is the one staging the most files).
+func adviseStagingWeighted(s *SessionStats, fastCapacity int64, byteWeight float64) *StagingAdvice {
 	if s == nil || len(s.PerFile) == 0 {
 		return &StagingAdvice{}
 	}
@@ -88,7 +97,7 @@ func AdviseStaging(s *SessionStats, fastCapacity int64) *StagingAdvice {
 		if bytes == 0 || bytes > fastCapacity {
 			continue
 		}
-		score := float64(cnt)/float64(len(files)) - byteCostWeight*float64(bytes)/float64(totalBytes)
+		score := float64(cnt)/float64(len(files)) - byteWeight*float64(bytes)/float64(totalBytes)
 		if score > bestScore {
 			bestScore = score
 			adv := &StagingAdvice{

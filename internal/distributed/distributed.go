@@ -41,6 +41,17 @@ type Options struct {
 	Batch int
 	// Prefetch is the per-rank prefetch depth.
 	Prefetch int
+	// RankThreads, when non-empty (length must equal the rank count),
+	// overrides Threads with one map parallelism per rank — the cluster
+	// tuner's per-rank decision.
+	RankThreads []int
+	// RankPrefetch, when non-empty (length must equal the rank count),
+	// overrides Prefetch per rank.
+	RankPrefetch []int
+	// ProbeSteps caps the lockstep step count (0 = the full epoch): the
+	// short probe windows the cluster tuner measures before committing to
+	// a configuration.
+	ProbeSteps int
 	// Epochs repeats the shard (tfdata.Repeat); 0 or 1 is a single epoch.
 	Epochs int
 	// InterleaveCycle/InterleaveBlock, when both positive, rearrange each
@@ -134,6 +145,53 @@ func (r *Result) SerializeLogs() (*LogSet, error) {
 	return set, nil
 }
 
+// threadsFor resolves rank r's map parallelism.
+func (o *Options) threadsFor(r int) int {
+	if len(o.RankThreads) > 0 {
+		return o.RankThreads[r]
+	}
+	return o.Threads
+}
+
+// prefetchFor resolves rank r's prefetch depth.
+func (o *Options) prefetchFor(r int) int {
+	if len(o.RankPrefetch) > 0 {
+		return o.RankPrefetch[r]
+	}
+	return o.Prefetch
+}
+
+// validate checks the per-rank shape of the options.
+func (o *Options) validate(ranks int) error {
+	if o.Batch < 1 {
+		return fmt.Errorf("distributed: invalid batch %d", o.Batch)
+	}
+	if len(o.RankThreads) > 0 && len(o.RankThreads) != ranks {
+		return fmt.Errorf("distributed: RankThreads has %d entries for %d ranks", len(o.RankThreads), ranks)
+	}
+	if len(o.RankPrefetch) > 0 && len(o.RankPrefetch) != ranks {
+		return fmt.Errorf("distributed: RankPrefetch has %d entries for %d ranks", len(o.RankPrefetch), ranks)
+	}
+	for r := 0; r < ranks; r++ {
+		if o.threadsFor(r) < 1 {
+			return fmt.Errorf("distributed: rank %d has invalid threads %d", r, o.threadsFor(r))
+		}
+		if o.prefetchFor(r) < 0 {
+			return fmt.Errorf("distributed: rank %d has invalid prefetch %d", r, o.prefetchFor(r))
+		}
+	}
+	return nil
+}
+
+// ShardPaths returns the file list rank `rank` of `ranks` consumes: the
+// full list shuffled with the job's seed, then sharded with tf.data
+// semantics — the same pipeline prefix every rank builds in Run, and the
+// single source of truth for shard membership (the per-rank staging
+// advisor stages exactly these files).
+func ShardPaths(paths []string, shuffle int64, ranks, rank int) []string {
+	return tfdata.FromFiles(nil, paths).Shuffle(shuffle).Shard(ranks, rank).Paths()
+}
+
 // lockstepSteps returns the number of steps every rank can run without
 // exhausting its shard: the minimum across ranks of full batches per
 // shard (at least one — the final partial batch — so tiny shards still
@@ -166,8 +224,8 @@ func Run(c *platform.Cluster, paths []string, opts Options) (*Result, error) {
 	if ranks == 0 {
 		return nil, fmt.Errorf("distributed: cluster has no nodes")
 	}
-	if opts.Batch < 1 || opts.Threads < 1 {
-		return nil, fmt.Errorf("distributed: invalid batch %d / threads %d", opts.Batch, opts.Threads)
+	if err := opts.validate(ranks); err != nil {
+		return nil, err
 	}
 	epochs := opts.Epochs
 	if epochs < 1 {
@@ -176,6 +234,9 @@ func Run(c *platform.Cluster, paths []string, opts Options) (*Result, error) {
 	steps, err := lockstepSteps(len(paths), ranks, epochs, opts.Batch)
 	if err != nil {
 		return nil, err
+	}
+	if opts.ProbeSteps > 0 && steps > opts.ProbeSteps {
+		steps = opts.ProbeSteps
 	}
 
 	linkBW := opts.LinkBandwidth
@@ -228,7 +289,7 @@ func Run(c *platform.Cluster, paths []string, opts Options) (*Result, error) {
 					return
 				}
 			}
-			ds := tfdata.FromFiles(node.Env, paths).Shuffle(opts.Shuffle).Shard(ranks, r)
+			ds := tfdata.FromFiles(node.Env, ShardPaths(paths, opts.Shuffle, ranks, r))
 			shardFiles := ds.Size()
 			if epochs > 1 {
 				ds = ds.Repeat(epochs)
@@ -236,7 +297,7 @@ func Run(c *platform.Cluster, paths []string, opts Options) (*Result, error) {
 			if opts.InterleaveCycle > 0 && opts.InterleaveBlock > 0 {
 				ds = ds.Interleave(opts.InterleaveCycle, opts.InterleaveBlock)
 			}
-			ds = ds.Map(opts.MapFn, opts.Threads).Batch(opts.Batch).Prefetch(opts.Prefetch)
+			ds = ds.Map(opts.MapFn, opts.threadsFor(r)).Batch(opts.Batch).Prefetch(opts.prefetchFor(r))
 			it, err := ds.MakeIterator()
 			if err != nil {
 				errs[r] = err

@@ -375,3 +375,102 @@ func TestEmptyShardRejected(t *testing.T) {
 		t.Fatal("expected empty-shard error")
 	}
 }
+
+func TestShardPathsMatchConsumedShards(t *testing.T) {
+	paths := make([]string, 37)
+	for i := range paths {
+		paths[i] = string(rune('a'+i%26)) + string(rune('0'+i/26))
+	}
+	const ranks = 4
+	seen := map[string]int{}
+	total := 0
+	for r := 0; r < ranks; r++ {
+		shard := ShardPaths(paths, testSeed, ranks, r)
+		if got, want := len(shard), tfdata.ShardLen(len(paths), ranks, r); got != want {
+			t.Fatalf("rank %d shard has %d files, ShardLen says %d", r, got, want)
+		}
+		for _, p := range shard {
+			seen[p]++
+		}
+		total += len(shard)
+	}
+	// Shards are disjoint and jointly cover the list.
+	if total != len(paths) || len(seen) != len(paths) {
+		t.Fatalf("shards cover %d/%d paths (%d uniques)", total, len(paths), len(seen))
+	}
+	for p, n := range seen {
+		if n != 1 {
+			t.Fatalf("path %s appears in %d shards", p, n)
+		}
+	}
+	// And the driver consumes exactly these files per rank.
+	res := runRanks(t, ranks, 64, defaultOpts())
+	for r, rr := range res.PerRank {
+		if want := len(ShardPaths(make([]string, 64), testSeed, ranks, r)); rr.ShardFiles != want {
+			t.Fatalf("rank %d consumed %d files, ShardPaths says %d", r, rr.ShardFiles, want)
+		}
+	}
+}
+
+func TestPerRankThreadOverridesChangeOnlyThatRank(t *testing.T) {
+	// A heterogeneous thread assignment must run, and giving one rank a
+	// single thread must slow the whole lockstep job versus the uniform
+	// run (its straggling stalls every barrier).
+	uniform := runRanks(t, 2, 64, defaultOpts())
+	opts := defaultOpts()
+	opts.RankThreads = []int{4, 1}
+	opts.RankPrefetch = []int{4, 2}
+	skewed := runRanks(t, 2, 64, opts)
+	if skewed.Steps != uniform.Steps {
+		t.Fatalf("step counts diverged: %d vs %d", skewed.Steps, uniform.Steps)
+	}
+	if !(skewed.WallSeconds > uniform.WallSeconds) {
+		t.Fatalf("starving rank 1 did not slow the job: %.3fs vs %.3fs",
+			skewed.WallSeconds, uniform.WallSeconds)
+	}
+}
+
+func TestPerRankOptionValidation(t *testing.T) {
+	c := platform.NewKebnekaiseCluster(2, platform.Options{PreloadDarshan: true})
+	d := buildDataset(t, c, 32)
+	opts := defaultOpts()
+	opts.RankThreads = []int{4} // wrong length
+	if _, err := Run(c, d.Paths, opts); err == nil {
+		t.Fatal("RankThreads length mismatch accepted")
+	}
+	opts = defaultOpts()
+	opts.Threads = 0
+	opts.RankThreads = []int{4, 0} // rank 1 invalid
+	if _, err := Run(c, d.Paths, opts); err == nil {
+		t.Fatal("zero per-rank threads accepted")
+	}
+	opts = defaultOpts()
+	opts.RankPrefetch = []int{1, 2, 3}
+	if _, err := Run(c, d.Paths, opts); err == nil {
+		t.Fatal("RankPrefetch length mismatch accepted")
+	}
+}
+
+func TestProbeStepsCapLockstepWindow(t *testing.T) {
+	full := runRanks(t, 2, 64, defaultOpts())
+	opts := defaultOpts()
+	opts.ProbeSteps = 1
+	probe := runRanks(t, 2, 64, opts)
+	if probe.Steps != 1 {
+		t.Fatalf("probe window ran %d steps, want 1", probe.Steps)
+	}
+	if full.Steps <= probe.Steps {
+		t.Fatalf("full epoch ran %d steps, expected more than the probe", full.Steps)
+	}
+	if !(probe.WallSeconds < full.WallSeconds) {
+		t.Fatalf("probe window (%.3fs) not shorter than the epoch (%.3fs)",
+			probe.WallSeconds, full.WallSeconds)
+	}
+	// A cap above the epoch is a no-op.
+	opts.ProbeSteps = 10_000
+	uncapped := runRanks(t, 2, 64, opts)
+	if uncapped.Steps != full.Steps || uncapped.WallSeconds != full.WallSeconds {
+		t.Fatalf("oversized ProbeSteps changed the run: %d/%.3fs vs %d/%.3fs",
+			uncapped.Steps, uncapped.WallSeconds, full.Steps, full.WallSeconds)
+	}
+}

@@ -99,23 +99,42 @@ func (c Config) rankSweep() []int {
 	return append([]int(nil), DefaultRankSweep...)
 }
 
+// buildImageNetCluster boots a fresh Kebnekaise cluster and generates the
+// ImageNet corpus on its shared Lustre mount. Every run and every tuning
+// probe builds its own cluster, so runs stay independent and
+// deterministic.
+func buildImageNetCluster(c Config, ranks int) (*platform.Cluster, *workload.Dataset, error) {
+	cluster := platform.NewKebnekaiseCluster(ranks, platform.Options{PreloadDarshan: true})
+	spec := workload.ImageNetSpec(platform.KebnekaiseLustre+"/imagenet", c.Scale)
+	d, err := workload.BuildImageNet(cluster.FS, spec)
+	if err != nil {
+		return nil, nil, err
+	}
+	return cluster, d, nil
+}
+
+// untunedClusterOptions is the sweep's fixed baseline configuration: the
+// per-rank parameters every rank count of the ranks table runs with, and
+// the "untuned" side of the tune experiment.
+func untunedClusterOptions(c Config) distributed.Options {
+	return distributed.Options{
+		Threads: 4, Batch: 32, Prefetch: 10,
+		Shuffle: c.shuffleSeed(),
+		Model:   workload.AlexNet, MapFn: workload.ImageNetMap,
+		VerifyContent: c.VerifyContent,
+	}
+}
+
 // runDistributedImageNet executes the sweep's workload at one rank
 // count: the ImageNet corpus sharded over a Kebnekaise cluster on shared
 // Lustre. It is the shared engine of the ranks table and the distributed
 // artifact producer.
 func runDistributedImageNet(c Config, ranks int) (*distributed.Result, error) {
-	cluster := platform.NewKebnekaiseCluster(ranks, platform.Options{PreloadDarshan: true})
-	spec := workload.ImageNetSpec(platform.KebnekaiseLustre+"/imagenet", c.Scale)
-	d, err := workload.BuildImageNet(cluster.FS, spec)
+	cluster, d, err := buildImageNetCluster(c, ranks)
 	if err != nil {
 		return nil, err
 	}
-	return distributed.Run(cluster, d.Paths, distributed.Options{
-		Threads: 4, Batch: 32, Prefetch: 10,
-		Shuffle: c.shuffleSeed(),
-		Model:   workload.AlexNet, MapFn: workload.ImageNetMap,
-		VerifyContent: c.VerifyContent,
-	})
+	return distributed.Run(cluster, d.Paths, untunedClusterOptions(c))
 }
 
 // runRankCount executes one rank count of the sweep and folds the run

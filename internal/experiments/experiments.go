@@ -110,6 +110,7 @@ func All() []Runner {
 		{"fig11b", "Malware with small files staged to Optane", func(c Config) (Result, error) { return Fig11b(c) }},
 		{"fig12", "dstat disk activity across configurations", func(c Config) (Result, error) { return Fig12(c) }},
 		{"ranks", "distributed data-parallel scaling on shared Lustre", func(c Config) (Result, error) { return RanksExperiment(c) }},
+		{"tune", "rank-aware autotuning and per-rank staging over merged logs", func(c Config) (Result, error) { return TuneExperiment(c) }},
 	}
 }
 

@@ -36,10 +36,25 @@ func (c *Cluster) Runtimes() []*darshan.Runtime {
 	return out
 }
 
+// ClusterNVMePrefix is the mount-point root of the per-node NVMe burst
+// buffers: rank r's node-local fast tier mounts at
+// ClusterNVMePrefix/rank<r>.
+const ClusterNVMePrefix = "/nvme"
+
+// NodeNVMePath returns rank r's node-local fast-tier mount point.
+func NodeNVMePath(rank int) string {
+	return fmt.Sprintf("%s/rank%d", ClusterNVMePrefix, rank)
+}
+
 // NewKebnekaiseCluster boots ranks compute nodes over one shared Lustre
 // mount. Each rank mirrors NewKebnekaise's single node (28 cores, 2xV100,
 // whole-run preloaded Darshan stamped with the rank), so a one-rank
 // cluster is the existing single-node platform, bit for bit.
+//
+// Beyond the shared Lustre system, every node carries its own Optane-class
+// NVMe burst buffer (the node-local fast tier Clairvoyant-Prefetching-
+// style per-rank staging targets), exposed as the node's FastMount. The
+// buffers hold no files at boot, so runs that never stage are unaffected.
 //
 // One modeling simplification: the VFS metadata cache is shared, so a file
 // warmed by one rank is warm for all. Ranks shard disjoint file sets, so
@@ -56,6 +71,11 @@ func NewKebnekaiseCluster(ranks int, opts Options) *Cluster {
 	for r := 0; r < ranks; r++ {
 		proc, cpu, env, rt := bootNode(k, fs, kebnekaiseCores, tf.NewGPU(kebnekaiseGPU), opts)
 		rt.SetRank(r)
+		nvme := storage.NewFlash(fmt.Sprintf("nvme0n1-rank%d", r), storage.DefaultOptaneParams())
+		fast := fs.AddMount(&vfs.Mount{
+			Prefix: NodeNVMePath(r), Dev: nvme,
+			OpenMetaTrips: 1.0, DirMetaTrips: 1.0,
+		})
 		c.Nodes = append(c.Nodes, &Machine{
 			Name:      fmt.Sprintf("kebnekaise-rank%d", r),
 			K:         k,
@@ -64,7 +84,9 @@ func NewKebnekaiseCluster(ranks int, opts Options) *Cluster {
 			Proc:      proc,
 			Env:       env,
 			Lustre:    lustre,
+			Optane:    nvme,
 			DataMount: data,
+			FastMount: fast,
 			CkptMount: data,
 			Darshan:   rt,
 		})

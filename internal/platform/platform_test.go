@@ -107,3 +107,27 @@ func TestMachinesAreIndependent(t *testing.T) {
 		t.Fatal("machines share a kernel")
 	}
 }
+
+func TestClusterNodesHaveNodeLocalFastTier(t *testing.T) {
+	c := NewKebnekaiseCluster(3, Options{PreloadDarshan: true})
+	seenDev := map[string]bool{}
+	for r, n := range c.Nodes {
+		if n.FastMount == nil || n.Optane == nil {
+			t.Fatalf("rank %d has no node-local fast tier", r)
+		}
+		if want := NodeNVMePath(r); n.FastMount.Prefix != want {
+			t.Fatalf("rank %d fast mount at %s, want %s", r, n.FastMount.Prefix, want)
+		}
+		if n.FastMount.Dev != n.Optane {
+			t.Fatalf("rank %d fast mount not backed by its own NVMe", r)
+		}
+		if seenDev[n.Optane.Name()] {
+			t.Fatalf("rank %d shares an NVMe device name %s", r, n.Optane.Name())
+		}
+		seenDev[n.Optane.Name()] = true
+		// The buffer is empty at boot: nothing lives under the mount.
+		if got := c.FS.TotalBytes(n.FastMount.Prefix); got != 0 {
+			t.Fatalf("rank %d NVMe holds %d bytes at boot", r, got)
+		}
+	}
+}

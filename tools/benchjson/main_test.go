@@ -1,0 +1,63 @@
+package main
+
+import (
+	"reflect"
+	"testing"
+)
+
+func TestParseBenchLine(t *testing.T) {
+	cases := []struct {
+		name string
+		line string
+		want Benchmark
+		ok   bool
+	}{
+		{
+			name: "artifact line with experiment metrics",
+			line: "BenchmarkFig7aImageNetProfile-8   1   297085251 ns/op   123 B/op   4 allocs/op   3.268 bandwidth_MBps",
+			want: Benchmark{
+				Name: "Fig7aImageNetProfile", Iterations: 1,
+				NsPerOp: 297085251, BytesPerOp: 123, AllocsPerOp: 4,
+				Metrics: map[string]float64{"bandwidth_MBps": 3.268},
+			},
+			ok: true,
+		},
+		{
+			// The tune experiment's tuned-vs-untuned gap must survive the
+			// parse so every BENCH_<n>.json carries the epoch delta.
+			name: "tune line with epoch delta metrics",
+			line: "BenchmarkTuneRankAware-8   1   512345678 ns/op   8.700 ranks4_epoch_delta_s   10.567 ranks4_speedup_x   0.909 ranks4_tuned_epoch_s   9.609 ranks4_untuned_epoch_s",
+			want: Benchmark{
+				Name: "TuneRankAware", Iterations: 1, NsPerOp: 512345678,
+				Metrics: map[string]float64{
+					"ranks4_epoch_delta_s":   8.7,
+					"ranks4_speedup_x":       10.567,
+					"ranks4_tuned_epoch_s":   0.909,
+					"ranks4_untuned_epoch_s": 9.609,
+				},
+			},
+			ok: true,
+		},
+		{
+			name: "serial procs suffix absent",
+			line: "BenchmarkRanksScaling   2   1000 ns/op",
+			want: Benchmark{Name: "RanksScaling", Iterations: 2, NsPerOp: 1000},
+			ok:   true,
+		},
+		{name: "header line rejected", line: "goos: linux"},
+		{name: "pass line rejected", line: "PASS"},
+		{name: "truncated line rejected", line: "BenchmarkFoo-8 1"},
+		{name: "garbled value rejected", line: "BenchmarkFoo-8 1 abc ns/op"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			got, ok := parseBenchLine(tc.line)
+			if ok != tc.ok {
+				t.Fatalf("ok = %v, want %v", ok, tc.ok)
+			}
+			if ok && !reflect.DeepEqual(got, tc.want) {
+				t.Fatalf("parsed %+v, want %+v", got, tc.want)
+			}
+		})
+	}
+}
