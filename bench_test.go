@@ -153,3 +153,14 @@ func BenchmarkRanksScaling(b *testing.B) { runArtifact(b, "ranks") }
 // per commit. The staging-plan and same-bytes invariants are verified
 // inside the experiment.
 func BenchmarkTuneRankAware(b *testing.B) { runArtifact(b, "tune") }
+
+// BenchmarkPrefetchEpoch runs the clairvoyant prefetching experiment over
+// the rank ladder: two-epoch per-epoch-reshuffled training, cold Lustre vs
+// the offline staging plan vs per-node prefetch daemons (without and with
+// peer-cache serving) across the cache-capacity ladder. The headline
+// prefetch_speedup_vs_staging_x and prefetch_local_hit_rate metrics (plus
+// the per-rung epoch times and hit-rate breakdown) land in the
+// BENCH_<n>.json perf snapshots. The beats-cold-at-every-rung and
+// beats-staging-on-constrained-rungs invariants are verified inside the
+// experiment.
+func BenchmarkPrefetchEpoch(b *testing.B) { runArtifact(b, "prefetch") }

@@ -37,6 +37,7 @@ func main() {
 	verify := fs.Bool("verify", false, "materialize and checksum all read content (slow; validates the zero-materialization fast path)")
 	ranks := fs.Int("ranks", 0, "pin the distributed 'ranks'/'tune' experiments to one rank count (0 = sweep 1,2,4,8)")
 	tune := fs.Bool("tune", false, "run the rank-aware tuning experiment (adds 'tune' to the id list)")
+	prefetchFlag := fs.Bool("prefetch", false, "run the clairvoyant prefetching experiment (adds 'prefetch' to the id list)")
 	parallel := fs.Int("parallel", 1, "simulation kernels to run concurrently on host CPUs (0 = one per core; results are byte-identical at any setting)")
 	outDir := fs.String("out", ".", "artifact output directory")
 	if err := fs.Parse(os.Args[2:]); err != nil {
@@ -77,6 +78,9 @@ func main() {
 		}
 		if *tune && !slices.Contains(ids, "tune") {
 			ids = append(ids, "tune")
+		}
+		if *prefetchFlag && !slices.Contains(ids, "prefetch") {
+			ids = append(ids, "prefetch")
 		}
 		if len(ids) == 0 {
 			usage()
@@ -132,8 +136,8 @@ func main() {
 func usage() {
 	fmt.Fprintln(os.Stderr, `usage:
   tfdarshan list
-  tfdarshan run       [-scale f] [-seed n] [-verify] [-ranks n] [-tune] [-parallel n] <id>...|all
-  tfdarshan metrics   [-scale f] [-seed n] [-verify] [-ranks n] [-tune] [-parallel n] <id>...|all
+  tfdarshan run       [-scale f] [-seed n] [-verify] [-ranks n] [-tune] [-prefetch] [-parallel n] <id>...|all
+  tfdarshan metrics   [-scale f] [-seed n] [-verify] [-ranks n] [-tune] [-prefetch] [-parallel n] <id>...|all
   tfdarshan artifacts [-scale f] [-ranks n] [-out dir] <imagenet|malware|distributed>
 
 the "ranks" experiment shards ImageNet over N data-parallel ranks on one
@@ -144,6 +148,12 @@ untuned 4-threads/rank baseline vs. per-rank threads/prefetch picked by
 cluster-wide probes over the merged Darshan profile, with each rank's
 small-file shard staged to its node-local NVMe (e.g. "tfdarshan run
 -tune -ranks 4")
+
+-prefetch (or the "prefetch" id) runs the clairvoyant prefetching
+experiment: per-node daemons walk each rank's seeded per-epoch shard order
+ahead of the consumer, filling a bounded node NVMe cache (with peer-cache
+serving over the interconnect), swept over a cache-capacity ladder against
+the cold-Lustre and offline-staging baselines
 
 "artifacts distributed" runs the cluster job at -ranks ranks (default 4)
 and writes the merged darshan.log (nprocs > 1, rank -1 shared records,

@@ -9,6 +9,15 @@ import "repro/internal/darshan"
 // Prefetching (NoPFS) reasoning — per-rank access knowledge places each
 // rank's data on storage only that rank touches — reproduced end to end
 // from the profiles the simulated cluster actually collected.
+//
+// This advisor is the OFFLINE baseline: it plans a one-shot between-runs
+// migration from a finished profile, the layout the tune experiment
+// applies before its tuned epoch. Its online counterpart is
+// internal/prefetch, which walks the same clairvoyant access order during
+// the run, streaming files through a bounded node cache with eviction and
+// peer serving; the prefetch experiment compares the two across cache
+// capacities. On capacity-constrained tiers the static plan can only
+// stage what fits, which is where the online prefetcher overtakes it.
 
 // StagingObjective selects the threshold-scan scoring of the cluster
 // advisor.

@@ -63,6 +63,17 @@ type Options struct {
 	// list with the same seed and then shards, the standard data-parallel
 	// recipe that keeps shards disjoint.
 	Shuffle int64
+	// RankPaths, when non-nil (length must equal the rank count), hands
+	// each rank an explicit file sequence instead of the shuffle+shard
+	// prefix — the clairvoyant schedules of the prefetch experiment, where
+	// epoch e's order is a fresh seeded reshuffle and all epochs are
+	// concatenated per rank. Shuffle and Epochs are ignored; the paths
+	// argument of Run still names the underlying file set.
+	RankPaths [][]string
+	// AfterRank, when set, runs on the rank's sim thread after the rank
+	// finishes (success or failure, before the thread exits) — the hook a
+	// per-node prefetcher uses to stop cleanly once its consumer is done.
+	AfterRank func(t *sim.Thread, rank int)
 	// SharedPaths are files every rank reads once before training (a
 	// dataset manifest, a replicated validation set): the overlapping-read
 	// pattern that produces Darshan's shared (rank −1) records in the
@@ -172,6 +183,16 @@ func (o *Options) validate(ranks int) error {
 	if len(o.RankPrefetch) > 0 && len(o.RankPrefetch) != ranks {
 		return fmt.Errorf("distributed: RankPrefetch has %d entries for %d ranks", len(o.RankPrefetch), ranks)
 	}
+	if o.RankPaths != nil {
+		if len(o.RankPaths) != ranks {
+			return fmt.Errorf("distributed: RankPaths has %d entries for %d ranks", len(o.RankPaths), ranks)
+		}
+		for r, ps := range o.RankPaths {
+			if len(ps) == 0 {
+				return fmt.Errorf("distributed: rank %d of %d has an empty path sequence", r, ranks)
+			}
+		}
+	}
 	for r := 0; r < ranks; r++ {
 		if o.threadsFor(r) < 1 {
 			return fmt.Errorf("distributed: rank %d has invalid threads %d", r, o.threadsFor(r))
@@ -231,9 +252,25 @@ func Run(c *platform.Cluster, paths []string, opts Options) (*Result, error) {
 	if epochs < 1 {
 		epochs = 1
 	}
-	steps, err := lockstepSteps(len(paths), ranks, epochs, opts.Batch)
-	if err != nil {
-		return nil, err
+	var steps int
+	var err error
+	if opts.RankPaths != nil {
+		// Explicit schedules: the minimum full-batch count across ranks
+		// (at least one), mirroring lockstepSteps over the given lengths.
+		for r := range opts.RankPaths {
+			s := len(opts.RankPaths[r]) / opts.Batch
+			if s < 1 {
+				s = 1
+			}
+			if r == 0 || s < steps {
+				steps = s
+			}
+		}
+	} else {
+		steps, err = lockstepSteps(len(paths), ranks, epochs, opts.Batch)
+		if err != nil {
+			return nil, err
+		}
 	}
 	if opts.ProbeSteps > 0 && steps > opts.ProbeSteps {
 		steps = opts.ProbeSteps
@@ -279,6 +316,9 @@ func Run(c *platform.Cluster, paths []string, opts Options) (*Result, error) {
 			}
 		}
 		c.K.Spawn(fmt.Sprintf("rank%d", r), func(t *sim.Thread) {
+			if opts.AfterRank != nil {
+				defer opts.AfterRank(t, r)
+			}
 			// Shared warm-up reads before the pipeline starts: every rank
 			// touches the same files, so the merged log carries rank −1
 			// shared records for them.
@@ -289,9 +329,13 @@ func Run(c *platform.Cluster, paths []string, opts Options) (*Result, error) {
 					return
 				}
 			}
-			ds := tfdata.FromFiles(node.Env, ShardPaths(paths, opts.Shuffle, ranks, r))
+			rankPaths := ShardPaths(paths, opts.Shuffle, ranks, r)
+			if opts.RankPaths != nil {
+				rankPaths = opts.RankPaths[r]
+			}
+			ds := tfdata.FromFiles(node.Env, rankPaths)
 			shardFiles := ds.Size()
-			if epochs > 1 {
+			if opts.RankPaths == nil && epochs > 1 {
 				ds = ds.Repeat(epochs)
 			}
 			if opts.InterleaveCycle > 0 && opts.InterleaveBlock > 0 {

@@ -117,6 +117,28 @@ func TestSingleRankBitIdenticalToSingleProcessPipeline(t *testing.T) {
 			t.Errorf("merged %v = %d, single-process %d", c, distRes.Merged.TotalPosix(c), soloSnap.TotalPosix(c))
 		}
 	}
+
+	// The prefetch-disabled invariant: handing the same one-epoch shard
+	// order in explicitly via RankPaths (the mechanism the clairvoyant
+	// prefetcher schedules through — prefetch.Schedule of one epoch IS
+	// ShardPaths) must not perturb a single bit of the run.
+	cluster2 := platform.NewKebnekaiseCluster(1, platform.Options{PreloadDarshan: true})
+	dExplicit := buildDataset(t, cluster2, files)
+	explicitOpts := opts
+	explicitOpts.RankPaths = [][]string{ShardPaths(dExplicit.Paths, opts.Shuffle, 1, 0)}
+	explicitRes, err := Run(cluster2, dExplicit.Paths, explicitOpts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if explicitRes.WallSeconds != distRes.WallSeconds {
+		t.Errorf("explicit schedule wall time diverged: %v vs %v", explicitRes.WallSeconds, distRes.WallSeconds)
+	}
+	if !reflect.DeepEqual(explicitRes.PerRank[0].Snapshot, distRes.PerRank[0].Snapshot) {
+		t.Error("explicit one-epoch schedule diverged from the sharded run's Darshan records")
+	}
+	if !reflect.DeepEqual(explicitRes.PerRank[0].History.StepWaitNs, rank0.History.StepWaitNs) {
+		t.Error("explicit one-epoch schedule diverged on per-step input waits")
+	}
 }
 
 func TestMergedCountersEqualPerRankSums(t *testing.T) {

@@ -111,6 +111,7 @@ func All() []Runner {
 		{"fig12", "dstat disk activity across configurations", func(c Config) (Result, error) { return Fig12(c) }},
 		{"ranks", "distributed data-parallel scaling on shared Lustre", func(c Config) (Result, error) { return RanksExperiment(c) }},
 		{"tune", "rank-aware autotuning and per-rank staging over merged logs", func(c Config) (Result, error) { return TuneExperiment(c) }},
+		{"prefetch", "clairvoyant per-epoch prefetching over node NVMe caches", func(c Config) (Result, error) { return PrefetchExperiment(c) }},
 	}
 }
 

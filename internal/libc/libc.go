@@ -60,22 +60,30 @@ func IsIOSymbol(s string) bool {
 // SonameLibc is the soname of the simulated C library.
 const SonameLibc = "libc.so"
 
-// NewLibrary builds "libc.so" over fs: each I/O symbol is a closure around
-// the corresponding VFS operation.
+// NewLibrary builds "libc.so" over fs as node 0 — the single-node surface.
 func NewLibrary(fs *vfs.FS) *dynload.Library {
-	stdio := vfs.NewStdio(fs)
+	return NewNodeLibrary(fs, 0)
+}
+
+// NewNodeLibrary builds "libc.so" over one node's view of fs: each I/O
+// symbol is a closure around the corresponding per-node VFS operation, so
+// a process linked against it charges metadata and cache state to its own
+// node, not a magically shared client cache.
+func NewNodeLibrary(fs *vfs.FS, node int) *dynload.Library {
+	view := fs.NodeView(node)
+	stdio := view.Stdio()
 	l := dynload.NewLibrary(SonameLibc)
-	l.Define("open", OpenFunc(fs.Open))
-	l.Define("close", CloseFunc(fs.Close))
-	l.Define("read", ReadFunc(fs.Read))
-	l.Define("pread", PreadFunc(fs.Pread))
-	l.Define("pread_discard", PreadDiscardFunc(fs.PreadDiscard))
-	l.Define("write", WriteFunc(fs.Write))
-	l.Define("pwrite", PwriteFunc(fs.Pwrite))
-	l.Define("lseek", LseekFunc(fs.Lseek))
-	l.Define("stat", StatFunc(fs.Stat))
-	l.Define("fsync", FsyncFunc(fs.Fsync))
-	l.Define("unlink", UnlinkFunc(fs.Unlink))
+	l.Define("open", OpenFunc(view.Open))
+	l.Define("close", CloseFunc(view.Close))
+	l.Define("read", ReadFunc(view.Read))
+	l.Define("pread", PreadFunc(view.Pread))
+	l.Define("pread_discard", PreadDiscardFunc(view.PreadDiscard))
+	l.Define("write", WriteFunc(view.Write))
+	l.Define("pwrite", PwriteFunc(view.Pwrite))
+	l.Define("lseek", LseekFunc(view.Lseek))
+	l.Define("stat", StatFunc(view.Stat))
+	l.Define("fsync", FsyncFunc(view.Fsync))
+	l.Define("unlink", UnlinkFunc(view.Unlink))
 	l.Define("fopen", FopenFunc(stdio.Fopen))
 	l.Define("fread", FreadFunc(stdio.Fread))
 	l.Define("fread_discard", FreadDiscardFunc(stdio.FreadDiscard))

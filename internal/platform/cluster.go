@@ -56,9 +56,9 @@ func NodeNVMePath(rank int) string {
 // style per-rank staging targets), exposed as the node's FastMount. The
 // buffers hold no files at boot, so runs that never stage are unaffected.
 //
-// One modeling simplification: the VFS metadata cache is shared, so a file
-// warmed by one rank is warm for all. Ranks shard disjoint file sets, so
-// no experiment path observes the difference.
+// Client-side metadata caching is per node: rank r runs as vfs node r, so
+// a file warmed by one rank is still cold for every other rank — each pays
+// its own MDS RPC on first touch, as real Lustre clients do.
 func NewKebnekaiseCluster(ranks int, opts Options) *Cluster {
 	if ranks < 1 {
 		panic(fmt.Sprintf("platform: invalid rank count %d", ranks))
@@ -69,7 +69,7 @@ func NewKebnekaiseCluster(ranks int, opts Options) *Cluster {
 	c := &Cluster{K: k, FS: fs, Lustre: lustre, DataMount: data}
 
 	for r := 0; r < ranks; r++ {
-		proc, cpu, env, rt := bootNode(k, fs, kebnekaiseCores, tf.NewGPU(kebnekaiseGPU), opts)
+		proc, cpu, env, rt := bootNode(k, fs, r, kebnekaiseCores, tf.NewGPU(kebnekaiseGPU), opts)
 		rt.SetRank(r)
 		nvme := storage.NewFlash(fmt.Sprintf("nvme0n1-rank%d", r), storage.DefaultOptaneParams())
 		fast := fs.AddMount(&vfs.Mount{
@@ -81,6 +81,7 @@ func NewKebnekaiseCluster(ranks int, opts Options) *Cluster {
 			K:         k,
 			CPU:       cpu,
 			FS:        fs,
+			Node:      r,
 			Proc:      proc,
 			Env:       env,
 			Lustre:    lustre,

@@ -31,6 +31,10 @@ type Machine struct {
 	K    *sim.Kernel
 	CPU  *sim.CPUSet
 	FS   *vfs.FS
+	// Node is this machine's node id on FS: the index of its client-side
+	// metadata/cache state (vfs.NodeView). Single machines are node 0;
+	// cluster rank r is node r.
+	Node int
 	Proc *dynload.Process
 	Env  *tf.Env
 
@@ -86,14 +90,15 @@ func (o Options) darshanConfig() darshan.Config {
 }
 
 // bootNode assembles the per-node half of a machine: a Darshan runtime, a
-// process image linked against libc over fs (with the runtime preloaded
-// when asked), a CPU pool and the TF environment. The single evaluation
-// machines and every rank of a cluster boot through this one path, so a
-// one-rank cluster node is constructed exactly like the single machine.
-func bootNode(k *sim.Kernel, fs *vfs.FS, cores int, gpu *tf.GPU, opts Options) (*dynload.Process, *sim.CPUSet, *tf.Env, *darshan.Runtime) {
+// process image linked against libc over one node's view of fs (with the
+// runtime preloaded when asked), a CPU pool and the TF environment. The
+// single evaluation machines and every rank of a cluster boot through this
+// one path, so a one-rank cluster node is constructed exactly like the
+// single machine.
+func bootNode(k *sim.Kernel, fs *vfs.FS, node, cores int, gpu *tf.GPU, opts Options) (*dynload.Process, *sim.CPUSet, *tf.Env, *darshan.Runtime) {
 	rt := darshan.NewRuntime(opts.darshanConfig(), k.Now())
 	proc := dynload.NewProcess()
-	base := libc.NewLibrary(fs)
+	base := libc.NewNodeLibrary(fs, node)
 	if opts.PreloadDarshan {
 		proc.LinkStartup([]*dynload.Library{darshan.NewPreloadLibrary(rt, base)}, base)
 	} else {
@@ -108,7 +113,7 @@ func buildMachine(name string, cores int, gpu *tf.GPU, wire func(fs *vfs.FS) []*
 	k := sim.NewKernel()
 	fs := vfs.New(vfs.DefaultConfig())
 	mounts := wire(fs)
-	proc, cpu, env, rt := bootNode(k, fs, cores, gpu, opts)
+	proc, cpu, env, rt := bootNode(k, fs, 0, cores, gpu, opts)
 	return &Machine{
 		Name:    name,
 		K:       k,

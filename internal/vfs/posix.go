@@ -21,8 +21,13 @@ func (fs *FS) syscall(t *sim.Thread) {
 }
 
 // Open opens a file, charging cold metadata I/O on first touch. It returns
-// a file descriptor.
+// a file descriptor. FS-level syscalls are the single-node surface: they
+// run as node 0 (identical to NodeView(0)).
 func (fs *FS) Open(t *sim.Thread, p string, flags int) (int, error) {
+	return fs.openNode(t, 0, p, flags)
+}
+
+func (fs *FS) openNode(t *sim.Thread, node int, p string, flags int) (int, error) {
 	fs.syscall(t)
 	p = path.Clean(p)
 	ino, ok := fs.inodes[p]
@@ -35,15 +40,15 @@ func (fs *FS) Open(t *sim.Thread, p string, flags int) (int, error) {
 			return -1, fmt.Errorf("open %s: %w", p, err)
 		}
 		ino = fs.newInode(p, m)
-		ino.warm = true // creator holds the metadata in cache
+		ino.warm.add(node) // creator holds the metadata in cache
 	} else {
-		fs.chargeColdOpen(t, ino)
+		fs.chargeColdOpen(t, node, ino)
 	}
 	if flags&O_TRUNC != 0 {
 		ino.Size = 0
 		ino.content = nil
 	}
-	of := &openFile{inode: ino, flags: flags}
+	of := &openFile{inode: ino, node: node, flags: flags}
 	if flags&O_APPEND != 0 {
 		of.offset = ino.Size
 	}
@@ -77,9 +82,10 @@ func accMode(flags int) int { return flags & 0x3 }
 
 // preadSpan is the common pread path: it charges the syscall entry,
 // validates the descriptor and offset, clamps count to EOF and charges the
-// device read for the resulting span. Content materialization is left to
-// the caller, so count-only reads charge identical simulated time without
-// generating a single byte.
+// device read for the resulting span (served from the opener node's data
+// cache, a peer's, or the backing device). Content materialization is left
+// to the caller, so count-only reads charge identical simulated time
+// without generating a single byte.
 func (fs *FS) preadSpan(t *sim.Thread, fd int, count, off int64) (*openFile, int64, error) {
 	fs.syscall(t)
 	of, err := fs.lookupFD(fd)
@@ -100,7 +106,7 @@ func (fs *FS) preadSpan(t *sim.Thread, fd int, count, off int64) (*openFile, int
 	if off+n > ino.Size {
 		n = ino.Size - off
 	}
-	ino.Mnt.Dev.Read(t, ino.Extent+off, n)
+	fs.readData(t, of.node, ino, off, n)
 	return of, n, nil
 }
 
@@ -171,6 +177,7 @@ func (fs *FS) writeAt(t *sim.Thread, ino *Inode, buf []byte, off int64) (int, er
 	if !ino.alloc {
 		fs.allocExtent(ino, 0)
 	}
+	fs.invalidateCached(ino)
 	end := off + n
 	if end > ino.Size {
 		// Grow: advance the allocator cursor when this file is the most
@@ -239,12 +246,16 @@ func (fs *FS) Lseek(t *sim.Thread, fd int, off int64, whence int) (int64, error)
 
 // Stat returns file metadata, charging cold metadata I/O on first touch.
 func (fs *FS) Stat(t *sim.Thread, p string) (FileInfo, error) {
+	return fs.statNode(t, 0, p)
+}
+
+func (fs *FS) statNode(t *sim.Thread, node int, p string) (FileInfo, error) {
 	fs.syscall(t)
 	ino, ok := fs.inodes[path.Clean(p)]
 	if !ok {
 		return FileInfo{}, fmt.Errorf("stat %s: %w", p, ErrNotExist)
 	}
-	fs.chargeColdOpen(t, ino)
+	fs.chargeColdOpen(t, node, ino)
 	return FileInfo{Path: ino.Path, Size: ino.Size, Ino: ino.Ino}, nil
 }
 
@@ -271,9 +282,11 @@ func (fs *FS) Fsync(t *sim.Thread, fd int) error {
 func (fs *FS) Unlink(t *sim.Thread, p string) error {
 	fs.syscall(t)
 	p = path.Clean(p)
-	if _, ok := fs.inodes[p]; !ok {
+	ino, ok := fs.inodes[p]
+	if !ok {
 		return fmt.Errorf("unlink %s: %w", p, ErrNotExist)
 	}
+	fs.invalidateCached(ino)
 	delete(fs.inodes, p)
 	return nil
 }

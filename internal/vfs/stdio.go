@@ -19,6 +19,7 @@ const StdioBufSize = 4096
 // module (paper Fig. 6).
 type Stream struct {
 	fs     *FS
+	node   int
 	inode  *Inode
 	read   bool
 	write  bool
@@ -31,13 +32,22 @@ type Stream struct {
 	Flushes int64
 }
 
-// Stdio is the libc stream layer over an FS.
+// Stdio is the libc stream layer over an FS, bound to the node whose libc
+// it models (stream metadata and data caching are client-side state).
 type Stdio struct {
-	fs *FS
+	fs   *FS
+	node int
 }
 
-// NewStdio returns the STDIO layer for fs.
+// NewStdio returns the STDIO layer for fs on node 0 (the single-node
+// surface).
 func NewStdio(fs *FS) *Stdio { return &Stdio{fs: fs} }
+
+// NewStdioNode returns the STDIO layer for fs as seen from node.
+func NewStdioNode(fs *FS, node int) *Stdio {
+	checkNode(node)
+	return &Stdio{fs: fs, node: node}
+}
 
 // Fopen opens a stream. Modes "r", "w", "a" (with optional "+") are
 // supported.
@@ -72,15 +82,15 @@ func (s *Stdio) Fopen(t *sim.Thread, p, mode string) (*Stream, error) {
 			return nil, err
 		}
 		ino = s.fs.newInode(path.Clean(p), m)
-		ino.warm = true
+		ino.warm.add(s.node)
 	} else {
-		s.fs.chargeColdOpen(t, ino)
+		s.fs.chargeColdOpen(t, s.node, ino)
 	}
 	if trunc {
 		ino.Size = 0
 		ino.content = nil
 	}
-	st := &Stream{fs: s.fs, inode: ino, read: rd, write: wr}
+	st := &Stream{fs: s.fs, node: s.node, inode: ino, read: rd, write: wr}
 	if appnd {
 		st.offset = ino.Size
 	}
@@ -139,7 +149,7 @@ func (s *Stdio) freadSpan(t *sim.Thread, st *Stream, count int64) (off int64, n 
 		n = ino.Size - st.offset
 	}
 	off = st.offset
-	ino.Mnt.Dev.Read(t, ino.Extent+off, n)
+	s.fs.readData(t, st.node, ino, off, n)
 	st.offset += n
 	return off, n, nil
 }

@@ -8,7 +8,16 @@
 // runs a single epoch, so every file is cold exactly once. The VFS mirrors
 // that: the first open (or stat) of a file charges cold metadata I/O to the
 // device; afterwards metadata is cached in memory. Data reads always hit
-// the device (each file's data is read once per epoch).
+// the device (each file's data is read once per epoch) unless a node-local
+// data cache (NodeCache) holds the file.
+//
+// Multi-node model: one FS can back several compute nodes sharing the same
+// devices (a cluster on one parallel file system). Metadata caching is
+// client-side state, so warm/cold is tracked per node: a file warmed by
+// node A is still cold for node B, which pays its own metadata RPC on
+// first touch. Each node issues syscalls through its View (NodeView);
+// plain FS methods are the single-node surface, identical to node 0's
+// view.
 package vfs
 
 import (
@@ -62,6 +71,11 @@ func DefaultConfig() Config {
 	return Config{SyscallCPU: sim.FromMicros(1.2)}
 }
 
+// MaxNodes bounds the number of compute nodes one FS can back: per-node
+// warm-metadata state is a bitmask per inode, so the bound is the word
+// width. Far above any rank count the simulated clusters run.
+const MaxNodes = 64
+
 // FS is a virtual file system with one or more mounted devices.
 type FS struct {
 	cfg     Config
@@ -71,6 +85,9 @@ type FS struct {
 	fds     map[int]*openFile
 	nextFD  int
 	nextIno int64
+	// caches holds the per-node data caches (nil when a node has none),
+	// indexed by node id.
+	caches []*NodeCache
 }
 
 // Mount binds a path prefix to a device with its metadata-cost policy.
@@ -84,13 +101,38 @@ type Mount struct {
 	// DirMetaTrips is charged once per directory on first lookup.
 	DirMetaTrips float64
 
-	cursor  int64 // allocation cursor (device position)
-	metaAcc float64
-	dirAcc  float64
+	cursor int64 // allocation cursor (device position)
+	// metaAcc/dirAcc amortize fractional trip counts per node (metadata
+	// caching is client state, so each node accumulates independently).
+	metaAcc []float64
+	dirAcc  []float64
+}
+
+// accAt returns the node's slot of a per-node accumulator slice, growing
+// the slice on demand.
+func accAt(acc *[]float64, node int) *float64 {
+	for len(*acc) <= node {
+		*acc = append(*acc, 0)
+	}
+	return &(*acc)[node]
 }
 
 type dirState struct {
-	warm bool
+	warm nodeSet // per-node: directory entry cached client-side
+}
+
+// nodeSet is a per-node bit set (metadata warm state, one bit per node).
+type nodeSet uint64
+
+func (s nodeSet) has(node int) bool { return s&(1<<uint(node)) != 0 }
+
+func (s *nodeSet) add(node int) { *s |= 1 << uint(node) }
+
+// checkNode validates a node id against the bitmask width.
+func checkNode(node int) {
+	if node < 0 || node >= MaxNodes {
+		panic(fmt.Sprintf("vfs: node %d out of range [0,%d)", node, MaxNodes))
+	}
 }
 
 // Inode is an in-memory file record.
@@ -101,14 +143,15 @@ type Inode struct {
 	Extent int64 // device position of the file's data
 	Mnt    *Mount
 
-	warm    bool   // metadata cached (first open/stat done)
-	alloc   bool   // extent assigned
-	content []byte // stored content for small written files
-	seed    int64  // procedural content seed
+	warm    nodeSet // per-node: metadata cached (first open/stat done)
+	alloc   bool    // extent assigned
+	content []byte  // stored content for small written files
+	seed    int64   // procedural content seed
 }
 
 type openFile struct {
 	inode  *Inode
+	node   int // node whose libc opened the descriptor
 	flags  int
 	offset int64
 	closed bool
@@ -260,7 +303,7 @@ func (fs *FS) Migrate(p string, dst *Mount) error {
 	}
 	ino.Mnt = dst
 	fs.allocExtent(ino, ino.Size) // enforces dst capacity like any allocation
-	ino.warm = false              // fresh tier: metadata cold again
+	ino.warm = 0                  // fresh tier: metadata cold again on every node
 	return nil
 }
 
@@ -345,27 +388,36 @@ func (ino *Inode) ContentChecksum(off, n int64) uint64 {
 	return h
 }
 
-// chargeColdOpen charges cold metadata I/O for first-touch of dir and inode.
-func (fs *FS) chargeColdOpen(t *sim.Thread, ino *Inode) {
+// chargeColdOpen charges node's cold metadata I/O for first-touch of dir
+// and inode. Metadata caching is client-side, so each node pays its own
+// cold cost; a node whose peer already caches the file's data can resolve
+// the inode over the interconnect instead of the backing device (the
+// peer-cache metadata serve of the clairvoyant prefetcher).
+func (fs *FS) chargeColdOpen(t *sim.Thread, node int, ino *Inode) {
 	m := ino.Mnt
 	dir := path.Dir(ino.Path)
 	ds := fs.dirs[dir]
-	if ds != nil && !ds.warm {
-		ds.warm = true
-		m.dirAcc += m.DirMetaTrips
-		for m.dirAcc >= 1 {
+	if ds != nil && !ds.warm.has(node) {
+		ds.warm.add(node)
+		acc := accAt(&m.dirAcc, node)
+		*acc += m.DirMetaTrips
+		for *acc >= 1 {
 			m.Dev.Metadata(t, ino.Extent)
-			m.dirAcc--
+			*acc--
 		}
 	}
-	if !ino.warm {
-		ino.warm = true
-		m.metaAcc += m.OpenMetaTrips
-		for m.metaAcc >= 1 {
+	if !ino.warm.has(node) {
+		ino.warm.add(node)
+		if fs.peerMetaServe(t, node, ino) {
+			return
+		}
+		acc := accAt(&m.metaAcc, node)
+		*acc += m.OpenMetaTrips
+		for *acc >= 1 {
 			// ext4 places inode tables in the file's block group, so the
 			// lookup lands near (but not at) the data extent.
 			m.Dev.Metadata(t, ino.Extent-64*storage.KiB)
-			m.metaAcc--
+			*acc--
 		}
 	}
 }

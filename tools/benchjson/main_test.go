@@ -39,6 +39,23 @@ func TestParseBenchLine(t *testing.T) {
 			ok: true,
 		},
 		{
+			// The prefetch experiment's headline metrics must survive the
+			// parse so the BENCH_<n>.json snapshots track the online-vs-
+			// offline gap and the hit-rate breakdown per commit.
+			name: "prefetch line with speedup and hit-rate metrics",
+			line: "BenchmarkPrefetchEpoch-8   1   734567890 ns/op   0.970 prefetch_local_hit_rate   6.412 prefetch_speedup_vs_cold_x   4.046 prefetch_speedup_vs_staging_x   5.690 ranks8_cap025_staged_epoch_s",
+			want: Benchmark{
+				Name: "PrefetchEpoch", Iterations: 1, NsPerOp: 734567890,
+				Metrics: map[string]float64{
+					"prefetch_local_hit_rate":       0.970,
+					"prefetch_speedup_vs_cold_x":    6.412,
+					"prefetch_speedup_vs_staging_x": 4.046,
+					"ranks8_cap025_staged_epoch_s":  5.690,
+				},
+			},
+			ok: true,
+		},
+		{
 			name: "serial procs suffix absent",
 			line: "BenchmarkRanksScaling   2   1000 ns/op",
 			want: Benchmark{Name: "RanksScaling", Iterations: 2, NsPerOp: 1000},
