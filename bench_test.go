@@ -164,3 +164,13 @@ func BenchmarkTuneRankAware(b *testing.B) { runArtifact(b, "tune") }
 // beats-staging-on-constrained-rungs invariants are verified inside the
 // experiment.
 func BenchmarkPrefetchEpoch(b *testing.B) { runArtifact(b, "prefetch") }
+
+// BenchmarkFailover runs the failure/recovery experiment over the rank
+// ladder: the no-failure baseline vs one mid-epoch rank death with a 2s
+// node reboot under the rank-0 and all-ranks checkpoint patterns. The
+// headline failover_restore_delta_s metric (plus per-rung epoch times,
+// downtime and restore-burst bandwidth) lands in the BENCH_<n>.json perf
+// snapshots, so recovery-cost regressions are tracked per commit. The
+// restore-reads-after-failure, checkpoint rank-factor and equal-restore-
+// bytes invariants are verified inside the experiment.
+func BenchmarkFailover(b *testing.B) { runArtifact(b, "failover") }

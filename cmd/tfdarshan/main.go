@@ -38,6 +38,7 @@ func main() {
 	ranks := fs.Int("ranks", 0, "pin the distributed 'ranks'/'tune' experiments to one rank count (0 = sweep 1,2,4,8)")
 	tune := fs.Bool("tune", false, "run the rank-aware tuning experiment (adds 'tune' to the id list)")
 	prefetchFlag := fs.Bool("prefetch", false, "run the clairvoyant prefetching experiment (adds 'prefetch' to the id list)")
+	failoverFlag := fs.Bool("failover", false, "run the failure/recovery experiment (adds 'failover' to the id list)")
 	parallel := fs.Int("parallel", 1, "simulation kernels to run concurrently on host CPUs (0 = one per core; results are byte-identical at any setting)")
 	outDir := fs.String("out", ".", "artifact output directory")
 	if err := fs.Parse(os.Args[2:]); err != nil {
@@ -81,6 +82,9 @@ func main() {
 		}
 		if *prefetchFlag && !slices.Contains(ids, "prefetch") {
 			ids = append(ids, "prefetch")
+		}
+		if *failoverFlag && !slices.Contains(ids, "failover") {
+			ids = append(ids, "failover")
 		}
 		if len(ids) == 0 {
 			usage()
@@ -136,8 +140,8 @@ func main() {
 func usage() {
 	fmt.Fprintln(os.Stderr, `usage:
   tfdarshan list
-  tfdarshan run       [-scale f] [-seed n] [-verify] [-ranks n] [-tune] [-prefetch] [-parallel n] <id>...|all
-  tfdarshan metrics   [-scale f] [-seed n] [-verify] [-ranks n] [-tune] [-prefetch] [-parallel n] <id>...|all
+  tfdarshan run       [-scale f] [-seed n] [-verify] [-ranks n] [-tune] [-prefetch] [-failover] [-parallel n] <id>...|all
+  tfdarshan metrics   [-scale f] [-seed n] [-verify] [-ranks n] [-tune] [-prefetch] [-failover] [-parallel n] <id>...|all
   tfdarshan artifacts [-scale f] [-ranks n] [-out dir] <imagenet|malware|distributed>
 
 the "ranks" experiment shards ImageNet over N data-parallel ranks on one
@@ -154,6 +158,13 @@ experiment: per-node daemons walk each rank's seeded per-epoch shard order
 ahead of the consumer, filling a bounded node NVMe cache (with peer-cache
 serving over the interconnect), swept over a cache-capacity ladder against
 the cold-Lustre and offline-staging baselines
+
+-failover (or the "failover" id) runs the failure/recovery experiment:
+one rank dies mid-epoch, its node reboots with cold caches and a fresh
+Darshan runtime, and every rank rolls back to the last checkpoint and
+fires a restore read burst at the shared PFS — compared against the
+no-failure baseline and the all-ranks checkpoint pattern, with the burst
+visible on the merged DXT timeline
 
 "artifacts distributed" runs the cluster job at -ranks ranks (default 4)
 and writes the merged darshan.log (nprocs > 1, rank -1 shared records,

@@ -1,19 +1,81 @@
-// Command traceviewer renders a trace.json.gz document as text: events per
-// process/thread in time order — a terminal stand-in for TensorBoard's
-// TraceViewer (the Figs. 8/10 views).
+// Command traceviewer renders profiling artifacts as text — a terminal
+// stand-in for TensorBoard's TraceViewer (the Figs. 8/10 views).
 //
-//	traceviewer [-limit n] <trace.json.gz>
+// Two input formats, told apart by their magic bytes:
+//
+//   - trace.json.gz: events per process/thread in time order;
+//   - darshan.log (single or merged kind): one activity lane per rank,
+//     streamed from the log without materializing it — each lane is the
+//     rank's read/write activity over the job, so a failed rank's
+//     downtime gap and the cluster-wide restore read burst that follows
+//     are visible at a glance.
+//
+//	traceviewer [-limit n] [-cols n] <trace.json.gz | darshan.log>
 package main
 
 import (
+	"bufio"
 	"encoding/json"
+	"errors"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"sort"
 
+	"repro/internal/darshan"
 	"repro/internal/trace"
 )
+
+var errUsage = errors.New("usage: traceviewer [-limit n] [-cols n] <trace.json.gz | darshan.log>")
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		if errors.Is(err, errUsage) {
+			os.Exit(2)
+		}
+		os.Exit(1)
+	}
+}
+
+func run(args []string, w io.Writer) error {
+	fs := flag.NewFlagSet("traceviewer", flag.ContinueOnError)
+	fs.SetOutput(io.Discard)
+	limit := fs.Int("limit", 20, "max events to print per thread (0 = all; trace.json.gz input)")
+	cols := fs.Int("cols", 64, "lane width in columns (darshan.log input)")
+	if err := fs.Parse(args); err != nil {
+		if errors.Is(err, flag.ErrHelp) {
+			fmt.Fprintln(w, errUsage.Error())
+			fs.SetOutput(w)
+			fs.PrintDefaults()
+			return nil
+		}
+		return fmt.Errorf("%w: %v", errUsage, err)
+	}
+	if fs.NArg() != 1 || *cols < 1 {
+		return errUsage
+	}
+	f, err := os.Open(fs.Arg(0))
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	br := bufio.NewReader(f)
+	prefix, err := br.Peek(8)
+	if err != nil && err != io.EOF {
+		return err
+	}
+	if darshan.IsLogData(prefix) {
+		return renderDarshan(w, br, *cols)
+	}
+	doc, err := trace.ReadJSONGz(br)
+	if err != nil {
+		return err
+	}
+	renderTrace(w, doc, *limit)
+	return nil
+}
 
 // rawEvent mirrors the union of event and metadata records.
 type rawEvent struct {
@@ -26,25 +88,7 @@ type rawEvent struct {
 	Args map[string]string `json:"args"`
 }
 
-func main() {
-	limit := flag.Int("limit", 20, "max events to print per thread (0 = all)")
-	flag.Parse()
-	if flag.NArg() != 1 {
-		fmt.Fprintln(os.Stderr, "usage: traceviewer [-limit n] <trace.json.gz>")
-		os.Exit(2)
-	}
-	f, err := os.Open(flag.Arg(0))
-	if err != nil {
-		fmt.Fprintln(os.Stderr, err)
-		os.Exit(1)
-	}
-	defer f.Close()
-	doc, err := trace.ReadJSONGz(f)
-	if err != nil {
-		fmt.Fprintln(os.Stderr, err)
-		os.Exit(1)
-	}
-
+func renderTrace(w io.Writer, doc *trace.File, limit int) {
 	procNames := map[int]string{}
 	threadNames := map[[2]int64]string{}
 	byThread := map[[2]int64][]rawEvent{}
@@ -77,31 +121,184 @@ func main() {
 	lastPID := int64(-1)
 	for _, k := range keys {
 		if k[0] != lastPID {
-			fmt.Printf("=== process %d: %s ===\n", k[0], procNames[int(k[0])])
+			fmt.Fprintf(w, "=== process %d: %s ===\n", k[0], procNames[int(k[0])])
 			lastPID = k[0]
 		}
-		fmt.Printf("  -- thread %d: %s\n", k[1], threadNames[k])
+		fmt.Fprintf(w, "  -- thread %d: %s\n", k[1], threadNames[k])
 		evs := byThread[k]
 		sort.Slice(evs, func(i, j int) bool { return evs[i].TS < evs[j].TS })
 		n := len(evs)
-		if *limit > 0 && n > *limit {
-			n = *limit
+		if limit > 0 && n > limit {
+			n = limit
 		}
 		for i := 0; i < n; i++ {
 			ev := evs[i]
-			fmt.Printf("     [%12.3fms +%9.3fms] %s", ev.TS/1e3, ev.Dur/1e3, ev.Name)
+			fmt.Fprintf(w, "     [%12.3fms +%9.3fms] %s", ev.TS/1e3, ev.Dur/1e3, ev.Name)
 			argKeys := make([]string, 0, len(ev.Args))
 			for a := range ev.Args {
 				argKeys = append(argKeys, a)
 			}
 			sort.Strings(argKeys)
 			for _, a := range argKeys {
-				fmt.Printf(" %s=%s", a, ev.Args[a])
+				fmt.Fprintf(w, " %s=%s", a, ev.Args[a])
 			}
-			fmt.Println()
+			fmt.Fprintln(w)
 		}
 		if n < len(evs) {
-			fmt.Printf("     ... %d more events\n", len(evs)-n)
+			fmt.Fprintf(w, "     ... %d more events\n", len(evs)-n)
 		}
 	}
+}
+
+// lane accumulates one rank's streamed timeline statistics: a bucketed
+// activity strip plus counters. Constant memory per rank regardless of
+// segment count.
+type lane struct {
+	cells      []byte // bitmask per column: 1=read, 2=write
+	segs       int64
+	readBytes  int64
+	writeBytes int64
+	firstStart float64
+	lastEnd    float64
+	// prevEnd/maxGap track the largest idle window between consecutive
+	// segments (the timeline is globally start-ordered, so per-rank
+	// arrivals are start-ordered too). A dead node's reboot shows up
+	// here.
+	prevEnd     float64
+	maxGap      float64
+	maxGapStart float64
+}
+
+func (l *lane) add(s darshan.MergedSegment, span float64) {
+	if l.segs == 0 {
+		l.firstStart = s.Start
+	} else if gap := s.Start - l.prevEnd; gap > l.maxGap {
+		l.maxGap = gap
+		l.maxGapStart = l.prevEnd
+	}
+	if s.End > l.prevEnd {
+		l.prevEnd = s.End
+	}
+	if s.End > l.lastEnd {
+		l.lastEnd = s.End
+	}
+	l.segs++
+	if s.Write {
+		l.writeBytes += s.Length
+	} else {
+		l.readBytes += s.Length
+	}
+	cols := len(l.cells)
+	lo := int(s.Start / span * float64(cols))
+	hi := int(s.End / span * float64(cols))
+	for c := lo; c <= hi && c < cols; c++ {
+		if c < 0 {
+			continue
+		}
+		if s.Write {
+			l.cells[c] |= 2
+		} else {
+			l.cells[c] |= 1
+		}
+	}
+}
+
+func (l *lane) strip() string {
+	out := make([]byte, len(l.cells))
+	for i, c := range l.cells {
+		out[i] = [4]byte{'.', 'r', 'w', 'x'}[c&3]
+	}
+	return string(out)
+}
+
+// fmtBytes renders a byte count in KB below 1 MB (checkpoint records are
+// small) and MB above.
+func fmtBytes(n int64) string {
+	if n < 1e6 {
+		return fmt.Sprintf("%.1fKB", float64(n)/1e3)
+	}
+	return fmt.Sprintf("%.1fMB", float64(n)/1e6)
+}
+
+// renderDarshan streams a binary Darshan log into per-rank activity
+// lanes. Merged logs get one lane per rank from the rank-attributed
+// timeline; single-process logs get one lane fed by the per-file DXT
+// records.
+func renderDarshan(w io.Writer, r io.Reader, cols int) error {
+	lr, err := darshan.NewLogReader(r)
+	if err != nil {
+		return err
+	}
+	span := lr.JobEnd()
+	if span <= 0 {
+		span = 1
+	}
+	kind := "single"
+	if lr.Merged() {
+		kind = "merged"
+	}
+	lanes := make([]*lane, lr.NProcs())
+	for i := range lanes {
+		lanes[i] = &lane{cells: make([]byte, cols)}
+	}
+	files := map[uint64]bool{}
+	if lr.Merged() {
+		for {
+			s, ok, err := lr.NextSegment()
+			if err != nil {
+				return err
+			}
+			if !ok {
+				break
+			}
+			files[s.ID] = true
+			if s.Rank < 0 {
+				// The decoder tolerates MergedRank on segments even though
+				// Merge only emits it on records; don't crash on such a log.
+				continue
+			}
+			lanes[s.Rank].add(s, span)
+		}
+	} else {
+		for {
+			rec, ok, err := lr.NextDXT()
+			if err != nil {
+				return err
+			}
+			if !ok {
+				break
+			}
+			files[rec.ID] = true
+			for dir, segs := range [2][]darshan.Segment{rec.ReadSegs, rec.WriteSegs} {
+				for _, s := range segs {
+					lanes[0].add(darshan.MergedSegment{Segment: s, ID: rec.ID, Write: dir == 1}, span)
+				}
+			}
+		}
+	}
+	if err := lr.Finish(); err != nil {
+		return err
+	}
+
+	var total int64
+	for _, l := range lanes {
+		total += l.segs
+	}
+	fmt.Fprintf(w, "=== darshan %s log: nprocs %d, job end %.3fs ===\n", kind, lr.NProcs(), lr.JobEnd())
+	fmt.Fprintf(w, "%d segments (dropped %d) over %d files; %d columns of %.3fs (r=read w=write x=both .=idle)\n",
+		total, lr.DroppedSegments(), len(files), cols, span/float64(cols))
+	for rank, l := range lanes {
+		fmt.Fprintf(w, "rank %d |%s|\n", rank, l.strip())
+		if l.segs == 0 {
+			fmt.Fprintf(w, "        no traced activity\n")
+			continue
+		}
+		fmt.Fprintf(w, "        %d segs, read %s write %s, active %.3fs..%.3fs",
+			l.segs, fmtBytes(l.readBytes), fmtBytes(l.writeBytes), l.firstStart, l.lastEnd)
+		if l.maxGap > 0 {
+			fmt.Fprintf(w, ", largest gap %.3fs at %.3fs", l.maxGap, l.maxGapStart)
+		}
+		fmt.Fprintln(w)
+	}
+	return nil
 }

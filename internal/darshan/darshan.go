@@ -27,6 +27,12 @@ type Config struct {
 	MaxDXTSegsPerRecord int
 	// EnableDXT turns on extended (per-operation) tracing.
 	EnableDXT bool
+	// DXTStdio additionally traces stdio stream reads/writes as DXT
+	// segments at their logical stream offsets. Real Darshan's DXT covers
+	// POSIX/MPI-IO only, so this is off by default; the failure scenario
+	// enables it to see buffered checkpoint writes and restore read
+	// bursts on the merged timeline.
+	DXTStdio bool
 	// WrapCPU is the bookkeeping cost per wrapped I/O call.
 	WrapCPU sim.Duration
 	// NewRecordCPU is the cost of registering a newly seen file (path

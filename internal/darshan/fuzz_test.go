@@ -58,6 +58,21 @@ func FuzzReadLog(f *testing.F) {
 	f.Fuzz(func(t *testing.T, data []byte) {
 		log, err := ReadLog(bytes.NewReader(data))
 		mergedLog, mergedErr := ReadMergedLog(bytes.NewReader(data))
+
+		// Streaming drain path: opening the reader and skipping straight
+		// to Finish must reach the same accept/reject verdict as the
+		// materializing decode — every skipped record is still validated.
+		lr, sErr := NewLogReader(bytes.NewReader(data))
+		if sErr == nil {
+			sErr = lr.Finish()
+		}
+		if (err == nil) != (sErr == nil) {
+			t.Fatalf("streaming verdict %v, materializing %v", sErr, err)
+		}
+		if sErr != nil && !errors.Is(sErr, ErrBadLog) {
+			t.Fatalf("streaming error does not wrap ErrBadLog: %v", sErr)
+		}
+
 		if err != nil {
 			if !errors.Is(err, ErrBadLog) {
 				t.Fatalf("decode error does not wrap ErrBadLog: %v", err)
@@ -99,6 +114,35 @@ func FuzzReadLog(f *testing.F) {
 		}
 		if !reflect.DeepEqual(log, again) {
 			t.Fatal("write/read round trip diverged")
+		}
+
+		// Out-of-order streaming consumption: jumping to the STDIO block
+		// silently drains (and validates) POSIX, and Finish drains the
+		// trace block; counts and the drop counter must match the
+		// materialized view.
+		lr2, err2 := NewLogReader(bytes.NewReader(data))
+		if err2 != nil {
+			t.Fatalf("streaming reopen failed on accepted log: %v", err2)
+		}
+		nStdio := 0
+		for {
+			_, ok, err := lr2.NextStdio()
+			if err != nil {
+				t.Fatalf("streaming stdio failed on accepted log: %v", err)
+			}
+			if !ok {
+				break
+			}
+			nStdio++
+		}
+		if nStdio != len(log.Stdio) {
+			t.Fatalf("streamed %d stdio records, materialized %d", nStdio, len(log.Stdio))
+		}
+		if err := lr2.Finish(); err != nil {
+			t.Fatalf("streaming finish failed on accepted log: %v", err)
+		}
+		if lr2.DroppedSegments() != log.DroppedSegments {
+			t.Fatalf("streamed drop count %d, materialized %d", lr2.DroppedSegments(), log.DroppedSegments)
 		}
 	})
 }

@@ -322,144 +322,70 @@ func finiteTime(v float64) bool {
 	return !math.IsNaN(v) && !math.IsInf(v, 0) && v >= 0
 }
 
-// ReadLog decodes a log written by (*Log).Write — either kind. The
-// decoder validates structure as it goes (magic, version, kind, rank
-// ranges, count bounds, time sanity) and returns ErrBadLog-wrapped errors
-// on any malformed input; it never panics and its allocations are bounded
-// by the actual decoded payload.
+// ReadLog decodes a log written by (*Log).Write — either kind. It is a
+// thin materializing loop over LogReader, so all structural validation
+// (magic, version, kind, rank ranges, count bounds, time sanity) happens
+// streamingly: a corrupt count field errors at the record it lies about,
+// never as a huge up-front allocation. Malformed input yields an
+// ErrBadLog-wrapped error; it never panics.
 func ReadLog(r io.Reader) (*Log, error) {
-	var magic [8]byte
-	if _, err := io.ReadFull(r, magic[:]); err != nil {
-		return nil, fmt.Errorf("%w: %v", ErrBadLog, err)
-	}
-	if magic != logMagic {
-		return nil, fmt.Errorf("%w: bad magic", ErrBadLog)
-	}
-	log := &Log{Names: make(map[uint64]string)}
-	if err := binary.Read(r, binary.LittleEndian, &log.Version); err != nil {
-		return nil, fmt.Errorf("%w: %v", ErrBadLog, err)
-	}
-	if log.Version != LogVersion {
-		return nil, fmt.Errorf("%w: unsupported version %d (want %d)", ErrBadLog, log.Version, LogVersion)
-	}
-	zr, err := gzip.NewReader(r)
-	if err != nil {
-		return nil, fmt.Errorf("%w: %v", ErrBadLog, err)
-	}
-	defer zr.Close()
-	d := &logDecoder{zr: zr}
-
-	var kind byte
-	if !d.val(&kind) {
-		return nil, d.fail("kind")
-	}
-	switch kind {
-	case logKindSingle:
-	case logKindMerged:
-		log.Merged = true
-	default:
-		return nil, fmt.Errorf("%w: unknown log kind %d", ErrBadLog, kind)
-	}
-
-	// Job record.
-	if !d.val(&log.JobEnd) || !d.val(&log.NProcs) {
-		return nil, d.fail("job record")
-	}
-	if !finiteTime(log.JobEnd) {
-		return nil, fmt.Errorf("%w: job end time %v", ErrBadLog, log.JobEnd)
-	}
-	if log.NProcs < 1 || log.NProcs > maxLogNProcs {
-		return nil, fmt.Errorf("%w: nprocs %d out of range", ErrBadLog, log.NProcs)
-	}
-	if !log.Merged && log.NProcs != 1 {
-		return nil, fmt.Errorf("%w: single-process log with nprocs %d", ErrBadLog, log.NProcs)
-	}
-
-	// Name table.
-	nNames, err := d.count("name table", maxLogNames)
+	lr, err := NewLogReader(r)
 	if err != nil {
 		return nil, err
 	}
-	for i := 0; i < nNames; i++ {
-		var id uint64
-		var ln uint16
-		if !d.val(&id) || !d.val(&ln) {
-			return nil, d.fail("name table entry %d", i)
-		}
-		buf := make([]byte, ln)
-		if _, err := io.ReadFull(zr, buf); err != nil {
-			return nil, fmt.Errorf("%w: name table entry %d: %v", ErrBadLog, i, err)
-		}
-		log.Names[id] = string(buf)
+	log := &Log{
+		Version: lr.version,
+		JobEnd:  lr.jobEnd,
+		NProcs:  lr.nprocs,
+		Merged:  lr.merged,
+		Names:   lr.names,
 	}
-
-	// validRank checks a module record's rank field: single logs carry
-	// plain process ranks, merged logs additionally allow the shared
-	// sentinel; out-of-range ranks are corruption.
-	validRank := func(rank int64) bool {
-		if log.Merged {
-			return rank >= MergedRank && rank < log.NProcs
+	for {
+		rec, ok, err := lr.NextPosix()
+		if err != nil {
+			return nil, err
 		}
-		return rank >= 0
-	}
-
-	// POSIX module block.
-	nPosix, err := d.count("posix block", maxLogRecords)
-	if err != nil {
-		return nil, err
-	}
-	for i := 0; i < nPosix; i++ {
-		if log.Posix == nil {
-			log.Posix = make([]PosixRecord, 0, min(nPosix, logAllocChunk))
+		if !ok {
+			break
 		}
-		var rec PosixRecord
-		var rank int64
-		if !d.val(&rec.ID) || !d.val(&rank) || !d.val(rec.Counters[:]) || !d.val(rec.FCounters[:]) {
-			return nil, d.fail("posix record %d", i)
-		}
-		if !validRank(rank) {
-			return nil, fmt.Errorf("%w: posix record %d: rank %d out of range (nprocs %d)", ErrBadLog, i, rank, log.NProcs)
-		}
-		rec.Rank = int(rank)
 		log.Posix = append(log.Posix, rec)
 	}
-
-	// STDIO module block.
-	nStdio, err := d.count("stdio block", maxLogRecords)
-	if err != nil {
-		return nil, err
-	}
-	for i := 0; i < nStdio; i++ {
-		if log.Stdio == nil {
-			log.Stdio = make([]StdioRecord, 0, min(nStdio, logAllocChunk))
+	for {
+		rec, ok, err := lr.NextStdio()
+		if err != nil {
+			return nil, err
 		}
-		var rec StdioRecord
-		var rank int64
-		if !d.val(&rec.ID) || !d.val(&rank) || !d.val(rec.Counters[:]) || !d.val(rec.FCounters[:]) {
-			return nil, d.fail("stdio record %d", i)
+		if !ok {
+			break
 		}
-		if !validRank(rank) {
-			return nil, fmt.Errorf("%w: stdio record %d: rank %d out of range (nprocs %d)", ErrBadLog, i, rank, log.NProcs)
-		}
-		rec.Rank = int(rank)
 		log.Stdio = append(log.Stdio, rec)
 	}
-
 	if log.Merged {
-		if err := readTimeline(d, log); err != nil {
-			return nil, err
+		for {
+			ms, ok, err := lr.NextSegment()
+			if err != nil {
+				return nil, err
+			}
+			if !ok {
+				break
+			}
+			log.Timeline = append(log.Timeline, ms)
 		}
+		log.DroppedSegments = lr.DroppedSegments()
 	} else {
-		if err := readDXTRecords(d, log); err != nil {
-			return nil, err
+		for {
+			rec, ok, err := lr.NextDXT()
+			if err != nil {
+				return nil, err
+			}
+			if !ok {
+				break
+			}
+			log.DXT = append(log.DXT, rec)
 		}
 	}
-
-	// The blocks must consume the compressed stream exactly: trailing
-	// bytes mean a corrupt count field upstream.
-	var trailer [1]byte
-	if n, err := zr.Read(trailer[:]); n != 0 || err != io.EOF {
-		return nil, fmt.Errorf("%w: trailing data after final block", ErrBadLog)
+	if err := lr.Finish(); err != nil {
+		return nil, err
 	}
 	return log, nil
 }
@@ -475,86 +401,6 @@ func readSegment(d *logDecoder, s *Segment, what string, i int) error {
 		return fmt.Errorf("%w: %s %d: invalid segment geometry", ErrBadLog, what, i)
 	}
 	s.TID = int(tid)
-	return nil
-}
-
-// readDXTRecords decodes the per-file DXT block of a single-process log.
-func readDXTRecords(d *logDecoder, log *Log) error {
-	nDXT, err := d.count("dxt block", maxLogRecords)
-	if err != nil {
-		return err
-	}
-	for i := 0; i < nDXT; i++ {
-		if log.DXT == nil {
-			log.DXT = make([]DXTRecord, 0, min(nDXT, logAllocChunk))
-		}
-		var rec DXTRecord
-		if !d.val(&rec.ID) || !d.val(&rec.Dropped) {
-			return d.fail("dxt record %d", i)
-		}
-		if rec.Dropped < 0 {
-			return fmt.Errorf("%w: dxt record %d: negative drop count", ErrBadLog, i)
-		}
-		for dir, out := range [2]*[]Segment{&rec.ReadSegs, &rec.WriteSegs} {
-			what := [2]string{"dxt read segment", "dxt write segment"}[dir]
-			nSegs, err := d.count(what, maxLogSegments)
-			if err != nil {
-				return err
-			}
-			for j := 0; j < nSegs; j++ {
-				if *out == nil {
-					*out = make([]Segment, 0, min(nSegs, logAllocChunk))
-				}
-				var s Segment
-				if err := readSegment(d, &s, what, j); err != nil {
-					return err
-				}
-				*out = append(*out, s)
-			}
-		}
-		log.DXT = append(log.DXT, rec)
-	}
-	return nil
-}
-
-// readTimeline decodes the flat rank-attributed DXT timeline of a merged
-// log.
-func readTimeline(d *logDecoder, log *Log) error {
-	if !d.val(&log.DroppedSegments) {
-		return d.fail("timeline header")
-	}
-	if log.DroppedSegments < 0 {
-		return fmt.Errorf("%w: negative timeline drop count", ErrBadLog)
-	}
-	nSegs, err := d.count("timeline", maxLogSegments)
-	if err != nil {
-		return err
-	}
-	for i := 0; i < nSegs; i++ {
-		if log.Timeline == nil {
-			log.Timeline = make([]MergedSegment, 0, min(nSegs, logAllocChunk))
-		}
-		var ms MergedSegment
-		var rank int32
-		var write byte
-		if !d.val(&ms.ID) || !d.val(&rank) || !d.val(&write) {
-			return d.fail("timeline segment %d", i)
-		}
-		// Timeline segments are always owned by a concrete rank: the
-		// shared sentinel never appears here.
-		if rank < 0 || int64(rank) >= log.NProcs {
-			return fmt.Errorf("%w: timeline segment %d: rank %d out of range (nprocs %d)", ErrBadLog, i, rank, log.NProcs)
-		}
-		if write > 1 {
-			return fmt.Errorf("%w: timeline segment %d: direction flag %d", ErrBadLog, i, write)
-		}
-		ms.Rank = int(rank)
-		ms.Write = write == 1
-		if err := readSegment(d, &ms.Segment, "timeline segment", i); err != nil {
-			return err
-		}
-		log.Timeline = append(log.Timeline, ms)
-	}
 	return nil
 }
 

@@ -73,6 +73,58 @@ func mergeStartTimestamp(dst *float64, v float64) {
 	}
 }
 
+// foldPosixCounters folds src's POSIX counters into dst per the merge
+// counter classes, accumulating src's ACCESS1..4 table into table for a
+// later combined re-rank. Shared by the cross-rank Merge and the
+// same-rank CombineSnapshots.
+func foldPosixCounters(dst, src *PosixRecord, table map[int64]int64) {
+	for c := PosixCounter(0); c < PosixNumCounters; c++ {
+		switch {
+		case PosixCounterAdditive(c):
+			dst.Counters[c] += src.Counters[c]
+		case c == POSIX_MAX_BYTE_READ || c == POSIX_MAX_BYTE_WRITTEN:
+			dst.Counters[c] = maxI64(dst.Counters[c], src.Counters[c])
+		}
+	}
+	for k := 0; k < 4; k++ {
+		count := src.Counters[POSIX_ACCESS1_COUNT+PosixCounter(k)]
+		if count > 0 {
+			table[src.Counters[POSIX_ACCESS1_ACCESS+PosixCounter(k)]] += count
+		}
+	}
+	for c := POSIX_F_OPEN_START_TIMESTAMP; c <= POSIX_F_CLOSE_START_TIMESTAMP; c++ {
+		mergeStartTimestamp(&dst.FCounters[c], src.FCounters[c])
+	}
+	for c := POSIX_F_OPEN_END_TIMESTAMP; c <= POSIX_F_CLOSE_END_TIMESTAMP; c++ {
+		dst.FCounters[c] = maxF(dst.FCounters[c], src.FCounters[c])
+	}
+	for _, c := range []PosixFCounter{POSIX_F_READ_TIME, POSIX_F_WRITE_TIME, POSIX_F_META_TIME} {
+		dst.FCounters[c] += src.FCounters[c]
+	}
+	for _, c := range []PosixFCounter{POSIX_F_MAX_READ_TIME, POSIX_F_MAX_WRITE_TIME} {
+		dst.FCounters[c] = maxF(dst.FCounters[c], src.FCounters[c])
+	}
+}
+
+// foldStdioCounters folds src's STDIO counters into dst per the merge
+// counter classes.
+func foldStdioCounters(dst, src *StdioRecord) {
+	for c := StdioCounter(0); c < StdioNumCounters; c++ {
+		if StdioCounterAdditive(c) {
+			dst.Counters[c] += src.Counters[c]
+		} else {
+			dst.Counters[c] = maxI64(dst.Counters[c], src.Counters[c])
+		}
+	}
+	mergeStartTimestamp(&dst.FCounters[STDIO_F_OPEN_START_TIMESTAMP], src.FCounters[STDIO_F_OPEN_START_TIMESTAMP])
+	mergeStartTimestamp(&dst.FCounters[STDIO_F_CLOSE_START_TIMESTAMP], src.FCounters[STDIO_F_CLOSE_START_TIMESTAMP])
+	dst.FCounters[STDIO_F_OPEN_END_TIMESTAMP] = maxF(dst.FCounters[STDIO_F_OPEN_END_TIMESTAMP], src.FCounters[STDIO_F_OPEN_END_TIMESTAMP])
+	dst.FCounters[STDIO_F_CLOSE_END_TIMESTAMP] = maxF(dst.FCounters[STDIO_F_CLOSE_END_TIMESTAMP], src.FCounters[STDIO_F_CLOSE_END_TIMESTAMP])
+	for _, c := range []StdioFCounter{STDIO_F_READ_TIME, STDIO_F_WRITE_TIME, STDIO_F_META_TIME} {
+		dst.FCounters[c] += src.FCounters[c]
+	}
+}
+
 // Merge reduces per-rank job-end snapshots (index = rank) into one
 // aggregate log. Counter semantics per class:
 //
@@ -117,33 +169,7 @@ func Merge(perRank []*Snapshot) *MergedLog {
 			if seen && dst.Rank != rank {
 				dst.Rank = MergedRank // shared across ranks
 			}
-			for c := PosixCounter(0); c < PosixNumCounters; c++ {
-				switch {
-				case PosixCounterAdditive(c):
-					dst.Counters[c] += src.Counters[c]
-				case c == POSIX_MAX_BYTE_READ || c == POSIX_MAX_BYTE_WRITTEN:
-					dst.Counters[c] = maxI64(dst.Counters[c], src.Counters[c])
-				}
-			}
-			table := accessTables[src.ID]
-			for k := 0; k < 4; k++ {
-				count := src.Counters[POSIX_ACCESS1_COUNT+PosixCounter(k)]
-				if count > 0 {
-					table[src.Counters[POSIX_ACCESS1_ACCESS+PosixCounter(k)]] += count
-				}
-			}
-			for c := POSIX_F_OPEN_START_TIMESTAMP; c <= POSIX_F_CLOSE_START_TIMESTAMP; c++ {
-				mergeStartTimestamp(&dst.FCounters[c], src.FCounters[c])
-			}
-			for c := POSIX_F_OPEN_END_TIMESTAMP; c <= POSIX_F_CLOSE_END_TIMESTAMP; c++ {
-				dst.FCounters[c] = maxF(dst.FCounters[c], src.FCounters[c])
-			}
-			for _, c := range []PosixFCounter{POSIX_F_READ_TIME, POSIX_F_WRITE_TIME, POSIX_F_META_TIME} {
-				dst.FCounters[c] += src.FCounters[c]
-			}
-			for _, c := range []PosixFCounter{POSIX_F_MAX_READ_TIME, POSIX_F_MAX_WRITE_TIME} {
-				dst.FCounters[c] = maxF(dst.FCounters[c], src.FCounters[c])
-			}
+			foldPosixCounters(dst, src, accessTables[src.ID])
 		}
 		for i := range snap.Stdio {
 			src := &snap.Stdio[i]
@@ -157,20 +183,7 @@ func Merge(perRank []*Snapshot) *MergedLog {
 			if seen && dst.Rank != rank {
 				dst.Rank = MergedRank // shared across ranks
 			}
-			for c := StdioCounter(0); c < StdioNumCounters; c++ {
-				if StdioCounterAdditive(c) {
-					dst.Counters[c] += src.Counters[c]
-				} else {
-					dst.Counters[c] = maxI64(dst.Counters[c], src.Counters[c])
-				}
-			}
-			mergeStartTimestamp(&dst.FCounters[STDIO_F_OPEN_START_TIMESTAMP], src.FCounters[STDIO_F_OPEN_START_TIMESTAMP])
-			mergeStartTimestamp(&dst.FCounters[STDIO_F_CLOSE_START_TIMESTAMP], src.FCounters[STDIO_F_CLOSE_START_TIMESTAMP])
-			dst.FCounters[STDIO_F_OPEN_END_TIMESTAMP] = maxF(dst.FCounters[STDIO_F_OPEN_END_TIMESTAMP], src.FCounters[STDIO_F_OPEN_END_TIMESTAMP])
-			dst.FCounters[STDIO_F_CLOSE_END_TIMESTAMP] = maxF(dst.FCounters[STDIO_F_CLOSE_END_TIMESTAMP], src.FCounters[STDIO_F_CLOSE_END_TIMESTAMP])
-			for _, c := range []StdioFCounter{STDIO_F_READ_TIME, STDIO_F_WRITE_TIME, STDIO_F_META_TIME} {
-				dst.FCounters[c] += src.FCounters[c]
-			}
+			foldStdioCounters(dst, src)
 		}
 		for i := range snap.DXT {
 			rec := &snap.DXT[i]

@@ -103,13 +103,16 @@ func (m *StdioModule) wrapFopen(real libc.FopenFunc) libc.FopenFunc {
 
 // recordFread applies fread semantics to the stream's record (shared by
 // the materializing and count-only wrappers).
-func (m *StdioModule) recordFread(st *vfs.Stream, n int64, start, end float64) {
+func (m *StdioModule) recordFread(t *sim.Thread, st *vfs.Stream, n int64, start, end float64) {
 	if ss, ok := m.streams[st]; ok && ss.rec != nil {
 		rec := ss.rec
 		rec.Counters[STDIO_READS]++
 		rec.Counters[STDIO_BYTES_READ] += n
 		rec.Counters[STDIO_MAX_BYTE_READ] = maxI64(rec.Counters[STDIO_MAX_BYTE_READ], n)
 		rec.FCounters[STDIO_F_READ_TIME] += end - start
+		if m.rt.cfg.DXTStdio {
+			m.rt.DXT.addRead(t, rec.ID, st.Offset()-n, n, start, end)
+		}
 	}
 }
 
@@ -122,7 +125,7 @@ func (m *StdioModule) wrapFread(real libc.FreadFunc) libc.FreadFunc {
 			if err != nil || n < 0 {
 				return
 			}
-			m.recordFread(st, int64(n), start, end)
+			m.recordFread(t, st, int64(n), start, end)
 		})
 		return n, err
 	}
@@ -139,7 +142,7 @@ func (m *StdioModule) wrapFreadDiscard(real libc.FreadDiscardFunc) libc.FreadDis
 			if err != nil || n < 0 {
 				return
 			}
-			m.recordFread(st, int64(n), start, end)
+			m.recordFread(t, st, int64(n), start, end)
 		})
 		return n, err
 	}
@@ -160,6 +163,9 @@ func (m *StdioModule) wrapFwrite(real libc.FwriteFunc) libc.FwriteFunc {
 				rec.Counters[STDIO_BYTES_WRITTEN] += int64(n)
 				rec.Counters[STDIO_MAX_BYTE_WRITTEN] = maxI64(rec.Counters[STDIO_MAX_BYTE_WRITTEN], int64(n))
 				rec.FCounters[STDIO_F_WRITE_TIME] += end - start
+				if m.rt.cfg.DXTStdio {
+					m.rt.DXT.addWrite(t, rec.ID, st.Offset()-int64(n), int64(n), start, end)
+				}
 			}
 		})
 		return n, err

@@ -90,17 +90,48 @@ type Options struct {
 	// VerifyContent disables the zero-materialization read fast path on
 	// every rank.
 	VerifyContent bool
+	// Checkpoint periodically saves the model on the STDIO layer
+	// (CkptNone leaves the run exactly as before).
+	Checkpoint CheckpointPolicy
+	// Failures schedules node deaths (ascending global steps). Each
+	// event kills its rank at the start of the step, reboots and rejoins
+	// the node, and rolls every rank back to the last checkpoint.
+	Failures []FailureEvent
 }
 
 // RankResult is one rank's outcome.
 type RankResult struct {
 	Rank int
 	// History is the rank's fit history (wait/compute/sync per step).
+	// After a failure it is the concatenation of the rank's committed
+	// fit segments (a dead incarnation's partial history is lost with
+	// its process).
 	History *keras.History
 	// Snapshot is the rank's Darshan record set exported at job end.
+	// For a rank that died, the pre-failure incarnations' records are
+	// folded in (darshan.CombineSnapshots).
 	Snapshot *darshan.Snapshot
 	// ShardFiles is the number of files in the rank's shard.
 	ShardFiles int
+	// Lifecycle is the rank's state transitions; a run without failures
+	// has the single initial running event.
+	Lifecycle []LifecycleEvent
+	// Incarnations counts the rank's processes (1 + times it died).
+	Incarnations int
+	// Checkpoints records every checkpoint this rank wrote.
+	Checkpoints []tfio.CheckpointResult
+	// RestoreBytes/RestoreNs total the rank's restore read bursts.
+	RestoreBytes int64
+	RestoreNs    int64
+}
+
+// CkptBytes totals the bytes this rank wrote as checkpoints.
+func (r *RankResult) CkptBytes() int64 {
+	var n int64
+	for _, c := range r.Checkpoints {
+		n += c.Bytes
+	}
+	return n
 }
 
 // BusyNs returns the rank's epoch time minus synchronization stalls — the
@@ -119,10 +150,13 @@ type Result struct {
 	PerRank []RankResult
 	// Merged is the cross-rank reduction of the per-rank Darshan logs.
 	Merged *darshan.MergedLog
-	// Steps is the lockstep step count every rank ran.
+	// Steps is the nominal lockstep step count of the job (rollback
+	// replays re-run some of them; see Failures).
 	Steps int
 	// WallSeconds is the virtual duration of the whole job.
 	WallSeconds float64
+	// Failures holds one record per completed failure/recovery cycle.
+	Failures []FailureRecord
 }
 
 // LogSet is the serialized Darshan artifacts of one cluster run: the
@@ -201,6 +235,29 @@ func (o *Options) validate(ranks int) error {
 			return fmt.Errorf("distributed: rank %d has invalid prefetch %d", r, o.prefetchFor(r))
 		}
 	}
+	if o.Checkpoint.Pattern != CkptNone {
+		if o.Checkpoint.EverySteps < 1 {
+			return fmt.Errorf("distributed: checkpoint needs EverySteps >= 1, got %d", o.Checkpoint.EverySteps)
+		}
+		if o.Checkpoint.Dir == "" {
+			return fmt.Errorf("distributed: checkpoint needs a directory")
+		}
+	}
+	if len(o.Failures) > 0 {
+		if o.InterleaveCycle > 0 && o.InterleaveBlock > 0 {
+			return fmt.Errorf("distributed: failure schedules are not supported with interleave")
+		}
+		prev := 0
+		for i, ev := range o.Failures {
+			if ev.Rank < 0 || ev.Rank >= ranks {
+				return fmt.Errorf("distributed: failure %d targets rank %d of %d", i, ev.Rank, ranks)
+			}
+			if ev.Step <= prev {
+				return fmt.Errorf("distributed: failure steps must be ascending and >= 1, got %d after %d", ev.Step, prev)
+			}
+			prev = ev.Step
+		}
+	}
 	return nil
 }
 
@@ -275,90 +332,29 @@ func Run(c *platform.Cluster, paths []string, opts Options) (*Result, error) {
 	if opts.ProbeSteps > 0 && steps > opts.ProbeSteps {
 		steps = opts.ProbeSteps
 	}
-
-	linkBW := opts.LinkBandwidth
-	if linkBW == 0 {
-		linkBW = DefaultLinkBandwidth
+	for i, ev := range opts.Failures {
+		if ev.Step > steps {
+			return nil, fmt.Errorf("distributed: failure %d at step %d beyond the job's %d steps", i, ev.Step, steps)
+		}
 	}
-	// A single-party barrier is a no-op, keeping one-rank runs
-	// bit-identical to the plain single-process training loop.
-	bar := sim.NewBarrier(ranks)
+
+	d := newDriver(c, opts, steps, epochs)
 	res := &Result{Steps: steps, PerRank: make([]RankResult, ranks)}
+	d.res = res
 	errs := make([]error, ranks)
 	for r := 0; r < ranks; r++ {
 		r := r
-		node := c.Nodes[r]
-		node.Env.VerifyContent = opts.VerifyContent
-		model := streamModel()
-		if opts.Model != nil {
-			model = opts.Model()
-		}
-		// Ring allreduce: every rank sends and receives 2*(N-1)/N of the
-		// gradient payload over its link; all ranks pay it concurrently
-		// after the step barrier.
-		var gradCost sim.Duration
-		if linkBW > 0 && ranks > 1 {
-			bytes := float64(model.ParamBytes())
-			gradCost = sim.Duration(2 * float64(ranks-1) / float64(ranks) * bytes / linkBW * 1e9)
-		}
-		allReduce := func(t *sim.Thread, step int) {
-			bar.Await(t)
-			if gradCost > 0 {
-				t.Sleep(gradCost)
-			}
-		}
-		// A failed rank must still occupy its barrier slot for every
-		// lockstep step, or its peers park forever and the job surfaces a
-		// kernel deadlock instead of errs[r].
-		drainBarrier := func(t *sim.Thread) {
-			for s := 0; s < steps; s++ {
-				bar.Await(t)
-			}
-		}
 		c.K.Spawn(fmt.Sprintf("rank%d", r), func(t *sim.Thread) {
 			if opts.AfterRank != nil {
 				defer opts.AfterRank(t, r)
 			}
-			// Shared warm-up reads before the pipeline starts: every rank
-			// touches the same files, so the merged log carries rank −1
-			// shared records for them.
-			for _, p := range opts.SharedPaths {
-				if _, err := tfio.ReadFile(t, node.Env, p); err != nil {
-					errs[r] = err
-					drainBarrier(t)
-					return
-				}
-			}
-			rankPaths := ShardPaths(paths, opts.Shuffle, ranks, r)
-			if opts.RankPaths != nil {
-				rankPaths = opts.RankPaths[r]
-			}
-			ds := tfdata.FromFiles(node.Env, rankPaths)
-			shardFiles := ds.Size()
-			if opts.RankPaths == nil && epochs > 1 {
-				ds = ds.Repeat(epochs)
-			}
-			if opts.InterleaveCycle > 0 && opts.InterleaveBlock > 0 {
-				ds = ds.Interleave(opts.InterleaveCycle, opts.InterleaveBlock)
-			}
-			ds = ds.Map(opts.MapFn, opts.threadsFor(r)).Batch(opts.Batch).Prefetch(opts.prefetchFor(r))
-			it, err := ds.MakeIterator()
-			if err != nil {
+			if err := d.runRank(t, r, paths); err != nil {
 				errs[r] = err
-				drainBarrier(t)
-				return
+				// A failed rank must still occupy its barrier slot for
+				// every lockstep step, or its peers park forever and the
+				// job surfaces a kernel deadlock instead of errs[r].
+				d.drainBarrier(t)
 			}
-			hist, err := model.Fit(t, node.Env, it, keras.FitOptions{
-				Steps: steps, AllReduce: allReduce,
-			})
-			if err != nil {
-				errs[r] = err
-				// Fit can only fail before its first step, so peers may
-				// still block on every barrier slot.
-				drainBarrier(t)
-				return
-			}
-			res.PerRank[r] = RankResult{Rank: r, History: hist, ShardFiles: shardFiles}
 		})
 	}
 	if err := c.K.Run(); err != nil {
@@ -373,12 +369,15 @@ func Run(c *platform.Cluster, paths []string, opts Options) (*Result, error) {
 		}
 	}
 	res.WallSeconds = sim.Seconds(c.K.Now())
+	res.Failures = d.failureRecords()
 
-	// Job-end export of each rank's Darshan record set, then the
+	// Job-end export of each rank's Darshan record set — with a dead
+	// incarnation's records folded in where a rank died — then the
 	// cross-rank reduction.
 	snaps := make([]*darshan.Snapshot, ranks)
 	for r, rt := range c.Runtimes() {
-		snaps[r] = rt.Export(c.K.Now())
+		final := rt.Export(c.K.Now())
+		snaps[r] = darshan.CombineSnapshots(append(d.preFail[r], final)...)
 		res.PerRank[r].Snapshot = snaps[r]
 	}
 	res.Merged = darshan.Merge(snaps)

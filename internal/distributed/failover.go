@@ -1,0 +1,506 @@
+package distributed
+
+import (
+	"fmt"
+
+	"repro/internal/darshan"
+	"repro/internal/platform"
+	"repro/internal/sim"
+	"repro/internal/tf"
+	"repro/internal/tf/keras"
+	"repro/internal/tf/tfdata"
+	"repro/internal/tf/tfio"
+)
+
+// This file is the failure-aware half of the driver: checkpoint policies,
+// the failure schedule, the per-rank lifecycle machinery and the
+// death/rejoin/restore protocol. The happy path (no failures, no
+// checkpoints) runs through exactly the same event loop with every hook
+// inert, and stays byte-identical to the pre-failure driver — the hooks
+// are memory-only until a schedule arms them.
+
+// CheckpointPattern selects who writes checkpoints.
+type CheckpointPattern int
+
+const (
+	// CkptNone disables checkpointing.
+	CkptNone CheckpointPattern = iota
+	// CkptRank0 is the chief-writes pattern: rank 0 saves the replicated
+	// model for everyone (all ranks restore from rank 0's files, the
+	// shared-read burst).
+	CkptRank0
+	// CkptAllRanks has every rank save its own copy under Dir/rank<r>/
+	// (per-rank optimizer shards; each rank restores its own files).
+	CkptAllRanks
+)
+
+// CheckpointPolicy configures periodic model saves on the STDIO layer.
+type CheckpointPolicy struct {
+	Pattern CheckpointPattern
+	// EverySteps saves after every n-th committed global step.
+	EverySteps int
+	// Dir is the checkpoint directory on the shared PFS.
+	Dir string
+}
+
+// prefix returns the checkpoint prefix writing rank r uses for global
+// step s. Restoring ranks use the writer's prefix: readRank(r) below.
+func (p CheckpointPolicy) prefix(r, s int) string {
+	if p.Pattern == CkptAllRanks {
+		return fmt.Sprintf("%s/rank%d/ckpt-%04d", p.Dir, r, s)
+	}
+	return fmt.Sprintf("%s/ckpt-%04d", p.Dir, s)
+}
+
+// writes reports whether rank r writes checkpoints under the pattern.
+func (p CheckpointPolicy) writes(r int) bool {
+	switch p.Pattern {
+	case CkptRank0:
+		return r == 0
+	case CkptAllRanks:
+		return true
+	}
+	return false
+}
+
+// lastBefore returns the newest checkpointed global step strictly before
+// step s (0 = none): the step a failure at s rolls back to.
+func (p CheckpointPolicy) lastBefore(s int) int {
+	if p.Pattern == CkptNone || p.EverySteps < 1 {
+		return 0
+	}
+	return p.EverySteps * ((s - 1) / p.EverySteps)
+}
+
+// FailureEvent schedules one rank's death: the rank's process dies at
+// the beginning of global step Step (having committed Step−1), its node
+// reboots for RebootDelay of simulated time, rejoins with cold caches
+// and a fresh Darshan runtime, and the whole job rolls back to the last
+// checkpoint (synchronous data-parallel restart: work since the last
+// save is lost and replayed by everyone).
+type FailureEvent struct {
+	Rank int
+	// Step is the 1-based global step at whose start the rank dies.
+	Step int
+	// RebootDelay is the node's death-to-rejoin time.
+	RebootDelay sim.Duration
+}
+
+// LifecycleState labels one phase of a rank's life.
+type LifecycleState string
+
+const (
+	LifeRunning   LifecycleState = "running"
+	LifeFailed    LifecycleState = "failed"
+	LifeRejoined  LifecycleState = "rejoined"
+	LifeRestoring LifecycleState = "restoring"
+)
+
+// LifecycleEvent is one per-rank lifecycle transition.
+type LifecycleEvent struct {
+	State LifecycleState
+	// Step is the global step the transition is anchored to (the next
+	// step to run for running, the fatal step for failed).
+	Step int
+	// TimeSec is the virtual time of the transition, seconds since job
+	// start.
+	TimeSec float64
+}
+
+// FailureRecord is one completed failure/recovery cycle of the job.
+type FailureRecord struct {
+	Rank int
+	// Step is the global step the rank died at the start of.
+	Step int
+	// FailSec/RejoinSec bound the node's downtime (virtual seconds).
+	FailSec   float64
+	RejoinSec float64
+	// CheckpointStep is the global step everyone rolled back to (0 =
+	// no checkpoint existed; training replayed from step 1).
+	CheckpointStep int
+	// ResumeStep is the first global step replayed after the restore.
+	ResumeStep int
+	// RestoreBytes/RestoreSeconds total the restore read burst across
+	// all ranks (bytes read from checkpoint files, summed rank time).
+	RestoreBytes   int64
+	RestoreSeconds float64
+}
+
+// rankKilled is the panic sentinel a scheduled death throws from inside
+// the training loop; the rank runner recovers it and runs the recovery
+// protocol. Any other panic is re-raised.
+type rankKilled struct{ step int }
+
+// failureState is the driver-global blackboard of one failure event,
+// written by the dying rank and read by every rank at the recovery
+// rendezvous.
+type failureState struct {
+	ev       FailureEvent
+	failNs   int64
+	rejoinNs int64
+	ckptStep int // rollback target, fixed at death time
+	// Restore-burst accounting across all ranks for this event.
+	restoreBytes   int64
+	restoreStartNs int64
+	restoreEndNs   int64
+}
+
+// driver is one distributed run's shared state: the elastic step barrier
+// plus the failure blackboards.
+type driver struct {
+	c      *platform.Cluster
+	opts   Options
+	steps  int
+	epochs int
+	linkBW float64
+	// bar is the per-step gradient barrier. A single-party barrier is a
+	// no-op, keeping one-rank runs bit-identical to the plain
+	// single-process training loop.
+	bar *sim.Barrier
+	// halted[r] is set when rank r observes a broken barrier generation
+	// (a peer died); its fit then stops cooperatively at the next step
+	// boundary and the rank parks at the recovery rendezvous.
+	halted []bool
+	// fails[i] is event i's blackboard; rendezvous[i] gathers all ranks
+	// (survivors + the reborn one) before the rollback replay.
+	fails      []failureState
+	rendezvous []*sim.Barrier
+	// preFail[r] collects rank r's dead incarnations' snapshots, exported
+	// at the death instant (the simulator's failure oracle preserves what
+	// a real crash would lose) and folded into the rank's job-end export.
+	preFail [][]*darshan.Snapshot
+	res     *Result
+}
+
+func newDriver(c *platform.Cluster, opts Options, steps, epochs int) *driver {
+	ranks := len(c.Nodes)
+	linkBW := opts.LinkBandwidth
+	if linkBW == 0 {
+		linkBW = DefaultLinkBandwidth
+	}
+	d := &driver{
+		c: c, opts: opts, steps: steps, epochs: epochs, linkBW: linkBW,
+		bar:     sim.NewBarrier(ranks),
+		halted:  make([]bool, ranks),
+		fails:   make([]failureState, len(opts.Failures)),
+		preFail: make([][]*darshan.Snapshot, ranks),
+	}
+	for i, ev := range opts.Failures {
+		d.fails[i] = failureState{ev: ev}
+		d.rendezvous = append(d.rendezvous, sim.NewBarrier(ranks))
+	}
+	return d
+}
+
+// drainBarrier occupies the rank's slot for every lockstep step after an
+// unrecoverable per-rank error, so healthy peers do not park forever.
+func (d *driver) drainBarrier(t *sim.Thread) {
+	for s := 0; s < d.steps; s++ {
+		d.bar.Await(t)
+	}
+}
+
+// failureRecords summarizes the blackboards after the job completes.
+func (d *driver) failureRecords() []FailureRecord {
+	var out []FailureRecord
+	for i := range d.fails {
+		fs := &d.fails[i]
+		out = append(out, FailureRecord{
+			Rank:           fs.ev.Rank,
+			Step:           fs.ev.Step,
+			FailSec:        sim.Seconds(fs.failNs),
+			RejoinSec:      sim.Seconds(fs.rejoinNs),
+			CheckpointStep: fs.ckptStep,
+			ResumeStep:     fs.ckptStep + 1,
+			RestoreBytes:   fs.restoreBytes,
+			RestoreSeconds: sim.Seconds(fs.restoreEndNs - fs.restoreStartNs),
+		})
+	}
+	return out
+}
+
+// lifecycle/failure/checkpoint callback: one Callback per rank per fit
+// segment, translating segment-local steps to global ones. All of its
+// work is memory-only until a failure schedule or checkpoint policy arms
+// it, so unarmed runs stay byte-identical.
+type rankCallback struct {
+	d    *driver
+	rank int
+	// base is the number of global steps committed before this segment.
+	base int
+	// nextEv indexes the first failure event this rank has not yet
+	// processed (events fire in ascending global-step order).
+	nextEv int
+	model  *keras.Model
+	result *RankResult
+}
+
+func (cb *rankCallback) OnTrainBegin(t *sim.Thread, env *tf.Env, m *keras.Model) { cb.model = m }
+func (cb *rankCallback) OnTrainEnd(t *sim.Thread, env *tf.Env)                   {}
+
+func (cb *rankCallback) OnStepBegin(t *sim.Thread, env *tf.Env, step int) {
+	d := cb.d
+	if cb.nextEv >= len(d.fails) {
+		return
+	}
+	ev := d.fails[cb.nextEv].ev
+	if ev.Rank == cb.rank && cb.base+step == ev.Step {
+		panic(rankKilled{step: ev.Step})
+	}
+}
+
+func (cb *rankCallback) OnStepEnd(t *sim.Thread, env *tf.Env, step int) {
+	d := cb.d
+	if d.halted[cb.rank] {
+		// The barrier broke during this step's allreduce: the step did
+		// not commit globally, so nothing may be saved for it.
+		return
+	}
+	p := d.opts.Checkpoint
+	g := cb.base + step
+	if !p.writes(cb.rank) || p.EverySteps < 1 || g%p.EverySteps != 0 {
+		return
+	}
+	res, err := tfio.WriteCheckpoint(t, env, p.prefix(cb.rank, g), cb.model.Vars)
+	if err != nil {
+		panic(fmt.Sprintf("distributed: rank %d checkpoint at step %d: %v", cb.rank, g, err))
+	}
+	cb.result.Checkpoints = append(cb.result.Checkpoints, res)
+}
+
+// mark appends a lifecycle transition for the rank at the current time.
+func (d *driver) mark(rr *RankResult, t *sim.Thread, st LifecycleState, step int) {
+	rr.Lifecycle = append(rr.Lifecycle, LifecycleEvent{
+		State: st, Step: step, TimeSec: sim.Seconds(t.Now()),
+	})
+}
+
+// mergeHistories folds per-segment fit histories into one job history:
+// step arrays concatenate (rollback replays appear as repeated steps, as
+// they genuinely ran), counters sum, and the span covers first start to
+// last end. A dead incarnation's partial history is lost with its
+// process, so a failed rank's merged history holds only committed
+// segments plus the replay.
+func mergeHistories(segs []*keras.History) *keras.History {
+	if len(segs) == 1 {
+		return segs[0]
+	}
+	out := &keras.History{StartNs: segs[0].StartNs}
+	for _, h := range segs {
+		out.StepsRun += h.StepsRun
+		out.StepWaitNs = append(out.StepWaitNs, h.StepWaitNs...)
+		out.StepComputeNs = append(out.StepComputeNs, h.StepComputeNs...)
+		out.StepSyncNs = append(out.StepSyncNs, h.StepSyncNs...)
+		out.SamplesSeen += h.SamplesSeen
+		out.BytesSeen += h.BytesSeen
+		out.EndNs = h.EndNs
+	}
+	return out
+}
+
+// epochSequence materializes the file sequence a rank consumes over the
+// whole job: the shard repeated per epoch (explicit RankPaths schedules
+// already concatenate their epochs). Replay segments slice into this to
+// resume mid-job.
+func epochSequence(rankPaths []string, epochs int, explicit bool) []string {
+	if explicit || epochs <= 1 {
+		return rankPaths
+	}
+	seq := make([]string, 0, len(rankPaths)*epochs)
+	for e := 0; e < epochs; e++ {
+		seq = append(seq, rankPaths...)
+	}
+	return seq
+}
+
+// runRank is one rank's whole job: an event loop over fit segments with
+// the per-rank lifecycle running → failed → rejoined → restoring →
+// running. A run without failure events executes exactly one segment
+// whose pipeline, fit and barrier traffic are byte-identical to the
+// pre-failure lockstep driver.
+func (d *driver) runRank(t *sim.Thread, r int, paths []string) error {
+	opts := &d.opts
+	ranks := len(d.c.Nodes)
+	node := d.c.Nodes[r]
+	node.Env.VerifyContent = opts.VerifyContent
+	newModel := func() *keras.Model {
+		if opts.Model != nil {
+			return opts.Model()
+		}
+		return streamModel()
+	}
+	model := newModel()
+	// Ring allreduce: every rank sends and receives 2*(N-1)/N of the
+	// gradient payload over its link; all ranks pay it concurrently
+	// after the step barrier. A broken generation means a peer died
+	// mid-step: the step did not commit, so the gradient exchange is
+	// skipped and the rank stops at the next step boundary.
+	var gradCost sim.Duration
+	if d.linkBW > 0 && ranks > 1 {
+		bytes := float64(model.ParamBytes())
+		gradCost = sim.Duration(2 * float64(ranks-1) / float64(ranks) * bytes / d.linkBW * 1e9)
+	}
+	allReduce := func(t *sim.Thread, step int) {
+		if d.halted[r] {
+			return
+		}
+		if d.bar.AwaitBroken(t) {
+			d.halted[r] = true
+			return
+		}
+		if gradCost > 0 {
+			t.Sleep(gradCost)
+		}
+	}
+
+	// Shared warm-up reads before the pipeline starts: every rank
+	// touches the same files, so the merged log carries rank −1 shared
+	// records for them.
+	for _, p := range opts.SharedPaths {
+		if _, err := tfio.ReadFile(t, node.Env, p); err != nil {
+			return err
+		}
+	}
+	rankPaths := ShardPaths(paths, opts.Shuffle, ranks, r)
+	if opts.RankPaths != nil {
+		rankPaths = opts.RankPaths[r]
+	}
+
+	rr := &d.res.PerRank[r]
+	rr.Rank = r
+	rr.Incarnations = 1
+	d.mark(rr, t, LifeRunning, 1)
+	cb := &rankCallback{d: d, rank: r, result: rr}
+	var histories []*keras.History
+	base := 0
+	for {
+		// Build this segment's input pipeline. The first segment is the
+		// exact pre-failure construction; replay segments resume at the
+		// job sequence's base*Batch offset (steps 1..base committed their
+		// batches before the rollback point).
+		var ds *tfdata.Dataset
+		if base == 0 {
+			ds = tfdata.FromFiles(node.Env, rankPaths)
+			rr.ShardFiles = ds.Size()
+			if opts.RankPaths == nil && d.epochs > 1 {
+				ds = ds.Repeat(d.epochs)
+			}
+			if opts.InterleaveCycle > 0 && opts.InterleaveBlock > 0 {
+				ds = ds.Interleave(opts.InterleaveCycle, opts.InterleaveBlock)
+			}
+		} else {
+			seq := epochSequence(rankPaths, d.epochs, opts.RankPaths != nil)
+			ds = tfdata.FromFiles(node.Env, seq[base*opts.Batch:])
+		}
+		ds = ds.Map(opts.MapFn, opts.threadsFor(r)).Batch(opts.Batch).Prefetch(opts.prefetchFor(r))
+		it, err := ds.MakeIterator()
+		if err != nil {
+			return err
+		}
+		cb.base = base
+		hist, killed, err := d.fitSegment(t, node, model, it, cb, allReduce, d.steps-base)
+		if err != nil {
+			return err
+		}
+		if killed == 0 && !d.halted[r] {
+			// Ran to the end of the job's steps.
+			histories = append(histories, hist)
+			break
+		}
+
+		// A failure event is in progress: this rank either died (killed
+		// is the fatal step) or observed the broken barrier and halted.
+		fs := &d.fails[cb.nextEv]
+		if killed > 0 {
+			fs.failNs = t.Now()
+			fs.ckptStep = opts.Checkpoint.lastBefore(killed)
+			d.mark(rr, t, LifeFailed, killed)
+			if ranks > 1 {
+				d.bar.Leave(t)
+			}
+			d.c.KillNode(r)
+			t.Sleep(fs.ev.RebootDelay)
+			node = d.c.RejoinNode(r)
+			node.Env.VerifyContent = opts.VerifyContent
+			model = newModel()
+			rr.Incarnations++
+			fs.rejoinNs = t.Now()
+			d.mark(rr, t, LifeRejoined, fs.ckptStep+1)
+			if ranks > 1 {
+				d.bar.Join(t)
+			}
+		} else {
+			histories = append(histories, hist)
+		}
+
+		// Recovery rendezvous: survivors park here until the reborn rank
+		// is back (straggler time), then everyone restores the rollback
+		// checkpoint concurrently — the restore read storm — and replays.
+		d.rendezvous[cb.nextEv].Await(t)
+		d.mark(rr, t, LifeRestoring, fs.ckptStep+1)
+		restoreStart := t.Now()
+		if fs.restoreStartNs == 0 || restoreStart < fs.restoreStartNs {
+			fs.restoreStartNs = restoreStart
+		}
+		n, err := d.restore(t, r, node.Env, model, fs.ckptStep)
+		if err != nil {
+			return err
+		}
+		rr.RestoreBytes += n
+		rr.RestoreNs += t.Now() - restoreStart
+		fs.restoreBytes += n
+		if t.Now() > fs.restoreEndNs {
+			fs.restoreEndNs = t.Now()
+		}
+		d.halted[r] = false
+		cb.nextEv++
+		base = fs.ckptStep
+		d.mark(rr, t, LifeRunning, base+1)
+	}
+	rr.History = mergeHistories(histories)
+	return nil
+}
+
+// fitSegment runs one fit over the segment's iterator, catching the
+// scheduled-death panic: a killed rank's partial fit history dies with
+// the process, its Darshan records are exported at the death instant
+// (the simulator's failure oracle) and the dead incarnation's pipeline
+// threads are reaped (a real crash takes its threads with it).
+func (d *driver) fitSegment(t *sim.Thread, node *platform.Machine, model *keras.Model, it *tfdata.Iterator, cb *rankCallback, allReduce func(*sim.Thread, int), steps int) (hist *keras.History, killed int, err error) {
+	r := cb.rank
+	defer func() {
+		p := recover()
+		if p == nil {
+			return
+		}
+		k, ok := p.(rankKilled)
+		if !ok {
+			panic(p)
+		}
+		killed = k.step
+		d.preFail[r] = append(d.preFail[r], node.Darshan.Export(t.Now()))
+		it.Close(t)
+	}()
+	hist, err = model.Fit(t, node.Env, it, keras.FitOptions{
+		Steps:     steps,
+		AllReduce: allReduce,
+		Callbacks: []keras.Callback{cb},
+		Halt:      func(step int) bool { return d.halted[r] },
+	})
+	return hist, 0, err
+}
+
+// restore replays the recovery read burst for one rank: every rank
+// re-reads the rollback checkpoint through the buffered STDIO reader
+// (rank 0's files under CkptRank0 — the shared-file read storm — or its
+// own under CkptAllRanks). Returns the bytes read.
+func (d *driver) restore(t *sim.Thread, r int, env *tf.Env, model *keras.Model, ckptStep int) (int64, error) {
+	if ckptStep < 1 || d.opts.Checkpoint.Pattern == CkptNone {
+		return 0, nil
+	}
+	readRank := 0
+	if d.opts.Checkpoint.Pattern == CkptAllRanks {
+		readRank = r
+	}
+	return tfio.RestoreCheckpoint(t, env, d.opts.Checkpoint.prefix(readRank, ckptStep), model.Vars)
+}

@@ -112,6 +112,7 @@ func All() []Runner {
 		{"ranks", "distributed data-parallel scaling on shared Lustre", func(c Config) (Result, error) { return RanksExperiment(c) }},
 		{"tune", "rank-aware autotuning and per-rank staging over merged logs", func(c Config) (Result, error) { return TuneExperiment(c) }},
 		{"prefetch", "clairvoyant per-epoch prefetching over node NVMe caches", func(c Config) (Result, error) { return PrefetchExperiment(c) }},
+		{"failover", "mid-epoch rank death, checkpoint rollback and restore read burst", func(c Config) (Result, error) { return FailoverExperiment(c) }},
 	}
 }
 

@@ -25,6 +25,13 @@ type Cluster struct {
 	// Nodes holds one Machine per rank, each with its own CPU pool, GPU,
 	// process image and (preloaded) Darshan runtime over the shared FS.
 	Nodes []*Machine
+
+	// opts/bootNs remember how the cluster was booted so RejoinNode can
+	// rebuild a dead rank's node the same way; gens counts reboots per
+	// rank (naming each incarnation's fresh NVMe device).
+	opts   Options
+	bootNs int64
+	gens   []int
 }
 
 // Runtimes returns the per-rank Darshan runtimes in rank order.
@@ -66,7 +73,8 @@ func NewKebnekaiseCluster(ranks int, opts Options) *Cluster {
 	k := sim.NewKernel()
 	fs := vfs.New(vfs.DefaultConfig())
 	data, lustre := wireKebnekaiseLustre(fs)
-	c := &Cluster{K: k, FS: fs, Lustre: lustre, DataMount: data}
+	c := &Cluster{K: k, FS: fs, Lustre: lustre, DataMount: data,
+		opts: opts, bootNs: k.Now(), gens: make([]int, ranks)}
 
 	for r := 0; r < ranks; r++ {
 		proc, cpu, env, rt := bootNode(k, fs, r, kebnekaiseCores, tf.NewGPU(kebnekaiseGPU), opts)
@@ -93,4 +101,50 @@ func NewKebnekaiseCluster(ranks int, opts Options) *Cluster {
 		})
 	}
 	return c
+}
+
+// KillNode models rank's compute node dying abruptly: all client-side
+// state on the shared FS (warm metadata, burst-buffer cache contents,
+// open descriptors) vanishes, and the node-local NVMe's files do not
+// survive the crash. The dead Machine is returned — its Darshan runtime
+// still holds the instrumentation recorded up to the failure instant, the
+// only part of the process the simulator's failure oracle preserves.
+// Setup-time operation: no simulated time passes.
+func (c *Cluster) KillNode(rank int) *Machine {
+	dead := c.Nodes[rank]
+	c.FS.DropNodeState(rank)
+	c.FS.RemoveTree(NodeNVMePath(rank))
+	return dead
+}
+
+// RejoinNode boots a replacement node for rank after a KillNode: a fresh
+// process image, Darshan runtime (on the original job clock, so merged
+// timelines stay on one time base) and an empty factory-fresh NVMe behind
+// the same mount point. The new Machine replaces c.Nodes[rank]. The
+// reborn node reuses vfs node id rank with cold caches — DropNodeState at
+// kill time already cleared every warm bit.
+func (c *Cluster) RejoinNode(rank int) *Machine {
+	old := c.Nodes[rank]
+	c.gens[rank]++
+	proc, cpu, env, rt := bootNodeAt(c.K, c.FS, rank, kebnekaiseCores, tf.NewGPU(kebnekaiseGPU), c.opts, c.bootNs)
+	rt.SetRank(rank)
+	nvme := storage.NewFlash(fmt.Sprintf("nvme0n1-rank%d-gen%d", rank, c.gens[rank]), storage.DefaultOptaneParams())
+	old.FastMount.SwapDevice(nvme)
+	m := &Machine{
+		Name:      fmt.Sprintf("kebnekaise-rank%d-gen%d", rank, c.gens[rank]),
+		K:         c.K,
+		CPU:       cpu,
+		FS:        c.FS,
+		Node:      rank,
+		Proc:      proc,
+		Env:       env,
+		Lustre:    c.Lustre,
+		Optane:    nvme,
+		DataMount: c.DataMount,
+		FastMount: old.FastMount,
+		CkptMount: c.DataMount,
+		Darshan:   rt,
+	}
+	c.Nodes[rank] = m
+	return m
 }

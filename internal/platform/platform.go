@@ -96,7 +96,15 @@ func (o Options) darshanConfig() darshan.Config {
 // one path, so a one-rank cluster node is constructed exactly like the
 // single machine.
 func bootNode(k *sim.Kernel, fs *vfs.FS, node, cores int, gpu *tf.GPU, opts Options) (*dynload.Process, *sim.CPUSet, *tf.Env, *darshan.Runtime) {
-	rt := darshan.NewRuntime(opts.darshanConfig(), k.Now())
+	return bootNodeAt(k, fs, node, cores, gpu, opts, k.Now())
+}
+
+// bootNodeAt is bootNode with an explicit Darshan job-start timestamp. A
+// node rebooted mid-job passes the original job start, so the reborn
+// runtime's relative timestamps share the surviving ranks' time base and
+// the merged timeline stays on one clock.
+func bootNodeAt(k *sim.Kernel, fs *vfs.FS, node, cores int, gpu *tf.GPU, opts Options, jobStartNs int64) (*dynload.Process, *sim.CPUSet, *tf.Env, *darshan.Runtime) {
+	rt := darshan.NewRuntime(opts.darshanConfig(), jobStartNs)
 	proc := dynload.NewProcess()
 	base := libc.NewNodeLibrary(fs, node)
 	if opts.PreloadDarshan {

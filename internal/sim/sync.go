@@ -181,12 +181,22 @@ func (c *Cond) Broadcast(t *Thread) {
 // all parties have arrived, then releases the whole generation together
 // (FIFO wakeup order). Reusable across generations, like a per-step
 // gradient-synchronization point.
+//
+// The barrier is elastic: Leave removes the caller's party (a rank dying
+// mid-step), breaking the generation in progress so survivors observe the
+// departure instead of deadlocking, and Join adds a party back (the reborn
+// rank). Both are legal at any point of the barrier cycle.
 type Barrier struct {
 	mu      Mutex
 	cond    *Cond
 	parties int
 	count   int
 	gen     int
+	// genBroken marks the generation currently forming as broken (a party
+	// left while it was incomplete); lastBroken is the completed status of
+	// the most recently released generation, read by its waiters.
+	genBroken  bool
+	lastBroken bool
 }
 
 // NewBarrier returns a barrier for the given number of parties.
@@ -199,24 +209,83 @@ func NewBarrier(parties int) *Barrier {
 	return b
 }
 
+// Parties returns the current number of parties.
+func (b *Barrier) Parties() int { return b.parties }
+
 // Await blocks until all parties arrive. A single-party barrier returns
 // immediately without parking or advancing virtual time.
 func (b *Barrier) Await(t *Thread) {
+	b.AwaitBroken(t)
+}
+
+// AwaitBroken is Await, additionally reporting whether the generation it
+// participated in was broken by a party leaving. Callers that can observe
+// failures use this form; the simulated operations are identical to
+// Await's, so runs that never break a generation are unaffected.
+func (b *Barrier) AwaitBroken(t *Thread) bool {
 	if b.parties == 1 {
-		return
+		return b.consumeSolo()
 	}
 	b.mu.Lock(t)
 	gen := b.gen
 	b.count++
 	if b.count == b.parties {
-		b.count = 0
-		b.gen++
-		b.cond.Broadcast(t)
+		b.release(t)
 	} else {
 		for gen == b.gen {
 			b.cond.Wait(t)
 		}
 	}
+	// Every waiter reads its generation's status under the mutex before
+	// any thread can start (let alone release) the next generation, so
+	// lastBroken cannot be overwritten out from under a reader.
+	broken := b.lastBroken
+	b.mu.Unlock(t)
+	return broken
+}
+
+// consumeSolo handles the parties==1 fast path: the sole party trips each
+// generation by itself, consuming a pending break mark without parking.
+func (b *Barrier) consumeSolo() bool {
+	broken := b.genBroken
+	b.genBroken = false
+	return broken
+}
+
+// release trips the generation: resets the arrival count, publishes the
+// generation's broken status, and wakes every waiter. Caller holds b.mu.
+func (b *Barrier) release(t *Thread) {
+	b.count = 0
+	b.gen++
+	b.lastBroken = b.genBroken
+	b.genBroken = false
+	b.cond.Broadcast(t)
+}
+
+// Leave removes the caller's party from the barrier, marking the
+// generation in progress as broken. If the departing party was the only
+// arrival missing, the generation trips immediately so current waiters
+// run (and observe the break) instead of deadlocking.
+func (b *Barrier) Leave(t *Thread) {
+	b.mu.Lock(t)
+	if b.parties <= 1 {
+		b.mu.Unlock(t)
+		panic("sim: Leave on a barrier with a single party")
+	}
+	b.parties--
+	b.genBroken = true
+	if b.count >= b.parties {
+		b.release(t)
+	}
+	b.mu.Unlock(t)
+}
+
+// Join adds a party to the barrier (a node rejoining the computation). It
+// never trips a generation: the new party's first Await simply counts
+// toward the now-larger quorum.
+func (b *Barrier) Join(t *Thread) {
+	b.mu.Lock(t)
+	b.parties++
 	b.mu.Unlock(t)
 }
 

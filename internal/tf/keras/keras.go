@@ -65,6 +65,11 @@ type FitOptions struct {
 	// cost model here; single-process fits leave it nil and are
 	// bit-identical to the pre-distributed training loop.
 	AllReduce func(t *sim.Thread, step int)
+	// Halt, when set, is polled after each step's callbacks; returning
+	// true ends the fit early (cooperative cancellation — the elastic
+	// driver stops survivors at a broken barrier). The poll is memory-only
+	// while it returns false, so fits that never halt are unaffected.
+	Halt func(step int) bool
 }
 
 // History records a completed fit: per-step input-wait and compute times,
@@ -173,6 +178,9 @@ func (m *Model) Fit(t *sim.Thread, env *tf.Env, it *tfdata.Iterator, opts FitOpt
 		h.BytesSeen += batch.Bytes
 		for _, cb := range opts.Callbacks {
 			cb.OnStepEnd(t, env, step)
+		}
+		if opts.Halt != nil && opts.Halt(step) {
+			break
 		}
 	}
 	for _, cb := range opts.Callbacks {

@@ -1,0 +1,87 @@
+package vfs
+
+import (
+	"path"
+
+	"repro/internal/storage"
+)
+
+// Node failure support: when a compute node dies, every piece of
+// client-side state it held disappears with it — warm metadata bits, the
+// local burst-buffer cache, open descriptors — and its node-local devices
+// come back empty after the reboot. These are setup-time operations (no
+// simulated time passes): the scheduler performs them at the instant of
+// the failure event, and the reborn node pays the cold-path costs through
+// the ordinary syscall surface afterwards.
+
+func (s *nodeSet) del(node int) { *s &^= 1 << uint(node) }
+
+// DropNodeState forgets everything node cached client-side: warm
+// metadata bits on every inode and directory, the node's amortization
+// accumulators on every mount, and the node's data cache contents (the
+// cache's capacity configuration and lifetime stats survive — a reboot
+// does not reset the experiment's counters).
+func (fs *FS) DropNodeState(node int) {
+	checkNode(node)
+	for _, ino := range fs.inodes {
+		ino.warm.del(node)
+	}
+	for _, d := range fs.dirs {
+		d.warm.del(node)
+	}
+	for _, m := range fs.mounts {
+		if node < len(m.metaAcc) {
+			m.metaAcc[node] = 0
+		}
+		if node < len(m.dirAcc) {
+			m.dirAcc[node] = 0
+		}
+	}
+	if node < len(fs.caches) && fs.caches[node] != nil {
+		fs.caches[node].dropAll()
+	}
+	for fd, f := range fs.fds {
+		if f.node == node {
+			delete(fs.fds, fd)
+		}
+	}
+}
+
+// RemoveTree unlinks every file under prefix and forgets the matching
+// directories — the contents of a node-local device that did not survive
+// the crash. Returns the number of files removed.
+func (fs *FS) RemoveTree(prefix string) int {
+	prefix = path.Clean(prefix)
+	n := 0
+	for p, ino := range fs.inodes {
+		if hasPathPrefix(p, prefix) {
+			fs.invalidateCached(ino)
+			delete(fs.inodes, p)
+			n++
+		}
+	}
+	for p, d := range fs.dirs {
+		if hasPathPrefix(p, prefix) {
+			d.warm = 0
+			delete(fs.dirs, p)
+		}
+	}
+	return n
+}
+
+// SwapDevice replaces the mount's backing device with a factory-fresh
+// one (the reborn node's reformatted NVMe), resetting the allocation
+// cursor. Existing inodes on the mount must be removed first (RemoveTree)
+// — their extents pointed into the old device.
+func (m *Mount) SwapDevice(dev storage.Device) {
+	m.Dev = dev
+	m.cursor = 0
+}
+
+// dropAll empties the cache without touching its lifetime statistics.
+func (c *NodeCache) dropAll() {
+	for c.head != nil {
+		c.remove(c.head)
+	}
+	c.cursor = 0
+}

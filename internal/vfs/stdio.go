@@ -32,6 +32,10 @@ type Stream struct {
 	Flushes int64
 }
 
+// Offset returns the stream's logical file position (after any buffered
+// reads/writes) — the offset instrumentation attributes stream ops to.
+func (st *Stream) Offset() int64 { return st.offset }
+
 // Stdio is the libc stream layer over an FS, bound to the node whose libc
 // it models (stream metadata and data caching are client-side state).
 type Stdio struct {

@@ -56,6 +56,24 @@ func TestParseBenchLine(t *testing.T) {
 			ok: true,
 		},
 		{
+			// The failover experiment's recovery-cost metrics must survive
+			// the parse so the BENCH_<n>.json snapshots track the
+			// restore delta, downtime and restore-burst bandwidth per commit.
+			name: "failover line with recovery metrics",
+			line: "BenchmarkFailover-8   1   823456789 ns/op   3.563 failover_restore_delta_s   2.000 ranks8_downtime_s   348.891 ranks8_restore_MBps   12.910 ranks8_fail_epoch_s   9.347 ranks8_nofail_epoch_s",
+			want: Benchmark{
+				Name: "Failover", Iterations: 1, NsPerOp: 823456789,
+				Metrics: map[string]float64{
+					"failover_restore_delta_s": 3.563,
+					"ranks8_downtime_s":        2.000,
+					"ranks8_restore_MBps":      348.891,
+					"ranks8_fail_epoch_s":      12.910,
+					"ranks8_nofail_epoch_s":    9.347,
+				},
+			},
+			ok: true,
+		},
+		{
 			name: "serial procs suffix absent",
 			line: "BenchmarkRanksScaling   2   1000 ns/op",
 			want: Benchmark{Name: "RanksScaling", Iterations: 2, NsPerOp: 1000},
