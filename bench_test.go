@@ -174,3 +174,15 @@ func BenchmarkPrefetchEpoch(b *testing.B) { runArtifact(b, "prefetch") }
 // restore-reads-after-failure, checkpoint rank-factor and equal-restore-
 // bytes invariants are verified inside the experiment.
 func BenchmarkFailover(b *testing.B) { runArtifact(b, "failover") }
+
+// BenchmarkElastic runs the elastic continue-on-failure experiment over
+// the rank ladder (ranks >= 2): the same mid-epoch rank death recovered by
+// checkpoint rollback vs elastically (survivors re-shard the victim's
+// remaining work and keep committing steps), at every rung of a
+// transient-fault ladder (clean, flaky reads with bounded retries, an
+// MDS-brownout/degraded-OST storm). The headline elastic_downtime_delta_s
+// and retry_total metrics (plus per-rung rollback/elastic epoch times)
+// land in the BENCH_<n>.json perf snapshots. The elastic-beats-rollback,
+// no-restore-storm, reads-after-failure and clean-runs-retry-free
+// invariants are verified inside the experiment.
+func BenchmarkElastic(b *testing.B) { runArtifact(b, "elastic") }

@@ -39,6 +39,7 @@ func main() {
 	tune := fs.Bool("tune", false, "run the rank-aware tuning experiment (adds 'tune' to the id list)")
 	prefetchFlag := fs.Bool("prefetch", false, "run the clairvoyant prefetching experiment (adds 'prefetch' to the id list)")
 	failoverFlag := fs.Bool("failover", false, "run the failure/recovery experiment (adds 'failover' to the id list)")
+	elasticFlag := fs.Bool("elastic", false, "run the elastic-vs-rollback fault-ladder experiment (adds 'elastic' to the id list)")
 	parallel := fs.Int("parallel", 1, "simulation kernels to run concurrently on host CPUs (0 = one per core; results are byte-identical at any setting)")
 	outDir := fs.String("out", ".", "artifact output directory")
 	if err := fs.Parse(os.Args[2:]); err != nil {
@@ -85,6 +86,9 @@ func main() {
 		}
 		if *failoverFlag && !slices.Contains(ids, "failover") {
 			ids = append(ids, "failover")
+		}
+		if *elasticFlag && !slices.Contains(ids, "elastic") {
+			ids = append(ids, "elastic")
 		}
 		if len(ids) == 0 {
 			usage()
@@ -140,8 +144,8 @@ func main() {
 func usage() {
 	fmt.Fprintln(os.Stderr, `usage:
   tfdarshan list
-  tfdarshan run       [-scale f] [-seed n] [-verify] [-ranks n] [-tune] [-prefetch] [-failover] [-parallel n] <id>...|all
-  tfdarshan metrics   [-scale f] [-seed n] [-verify] [-ranks n] [-tune] [-prefetch] [-failover] [-parallel n] <id>...|all
+  tfdarshan run       [-scale f] [-seed n] [-verify] [-ranks n] [-tune] [-prefetch] [-failover] [-elastic] [-parallel n] <id>...|all
+  tfdarshan metrics   [-scale f] [-seed n] [-verify] [-ranks n] [-tune] [-prefetch] [-failover] [-elastic] [-parallel n] <id>...|all
   tfdarshan artifacts [-scale f] [-ranks n] [-out dir] <imagenet|malware|distributed>
 
 the "ranks" experiment shards ImageNet over N data-parallel ranks on one
@@ -165,6 +169,14 @@ Darshan runtime, and every rank rolls back to the last checkpoint and
 fires a restore read burst at the shared PFS — compared against the
 no-failure baseline and the all-ranks checkpoint pattern, with the burst
 visible on the merged DXT timeline
+
+-elastic (or the "elastic" id) runs the elastic continue-on-failure
+experiment: the same mid-epoch rank death is recovered once by rollback
+and once elastically (survivors re-shard the victim's remaining work and
+keep committing steps while the reborn rank catches up alone), under a
+ladder of injected transient faults (flaky reads with bounded retries, an
+MDS brownout, a degraded-OST window) — elastic must beat rollback on
+wall time at every rung
 
 "artifacts distributed" runs the cluster job at -ranks ranks (default 4)
 and writes the merged darshan.log (nprocs > 1, rank -1 shared records,

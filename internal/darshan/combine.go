@@ -41,6 +41,7 @@ func CombineSnapshots(snaps ...*Snapshot) *Snapshot {
 		if snap.Time > out.Time {
 			out.Time = snap.Time
 		}
+		out.Faults.Add(snap.Faults)
 		for id, name := range snap.Names {
 			out.Names[id] = name
 		}

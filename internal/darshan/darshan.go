@@ -198,6 +198,10 @@ type Snapshot struct {
 	Stdio []StdioRecord
 	DXT   []DXTRecord
 	Names map[uint64]string
+	// Faults is the runtime's transient-fault/retry tally (faults.go) —
+	// a side channel outside the v321 wire format, stamped by the caller
+	// after export.
+	Faults FaultCounters
 }
 
 // PosixByID returns the POSIX record with the given id, if present.

@@ -41,6 +41,9 @@ type MergedLog struct {
 	Timeline []MergedSegment
 	// DroppedSegments sums DXT segments lost to per-record memory bounds.
 	DroppedSegments int64
+	// Faults sums the per-rank transient-fault/retry tallies (faults.go).
+	// Side channel only: not part of the serialized merged-log format.
+	Faults FaultCounters
 }
 
 // PosixCounterAdditive reports whether c aggregates across ranks by
@@ -150,6 +153,7 @@ func Merge(perRank []*Snapshot) *MergedLog {
 		if snap.Time > out.JobEnd {
 			out.JobEnd = snap.Time
 		}
+		out.Faults.Add(snap.Faults)
 		for id, name := range snap.Names {
 			out.Names[id] = name
 		}

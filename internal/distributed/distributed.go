@@ -24,6 +24,7 @@ import (
 	"repro/internal/darshan"
 	"repro/internal/platform"
 	"repro/internal/sim"
+	"repro/internal/tf"
 	"repro/internal/tf/keras"
 	"repro/internal/tf/tfdata"
 	"repro/internal/tf/tfio"
@@ -97,6 +98,18 @@ type Options struct {
 	// event kills its rank at the start of the step, reboots and rejoins
 	// the node, and rolls every rank back to the last checkpoint.
 	Failures []FailureEvent
+	// Elastic switches the failure protocol from rollback to
+	// continue-on-failure: survivors re-shard the victim's remaining
+	// epoch work across N−1 live ranks and keep committing steps; the
+	// reborn rank restores the last checkpoint alone and is absorbed at
+	// the next step boundary (no restore storm, no replay). Requires
+	// exactly one failure event and the shuffle+shard path layout.
+	Elastic bool
+	// Retry arms every rank's transient-read retry policy (tf.Env.Retry):
+	// bounded retries with seeded exponential backoff against injected
+	// vfs faults. The zero policy retries nothing and leaves runs
+	// byte-identical.
+	Retry tf.RetryPolicy
 }
 
 // RankResult is one rank's outcome.
@@ -258,6 +271,14 @@ func (o *Options) validate(ranks int) error {
 			prev = ev.Step
 		}
 	}
+	if o.Elastic {
+		if len(o.Failures) != 1 {
+			return fmt.Errorf("distributed: elastic mode needs exactly one failure event, got %d", len(o.Failures))
+		}
+		if o.RankPaths != nil {
+			return fmt.Errorf("distributed: elastic mode re-shards the shuffle+shard layout; explicit RankPaths are not supported")
+		}
+	}
 	return nil
 }
 
@@ -377,6 +398,10 @@ func Run(c *platform.Cluster, paths []string, opts Options) (*Result, error) {
 	snaps := make([]*darshan.Snapshot, ranks)
 	for r, rt := range c.Runtimes() {
 		final := rt.Export(c.K.Now())
+		// Stamp the live process's fault/retry tally on its snapshot (dead
+		// incarnations were stamped at the death instant); CombineSnapshots
+		// sums the side channel across incarnations.
+		final.Faults = envFaultCounters(c.Nodes[r].Env)
 		snaps[r] = darshan.CombineSnapshots(append(d.preFail[r], final)...)
 		res.PerRank[r].Snapshot = snaps[r]
 	}

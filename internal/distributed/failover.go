@@ -116,14 +116,24 @@ type FailureRecord struct {
 	FailSec   float64
 	RejoinSec float64
 	// CheckpointStep is the global step everyone rolled back to (0 =
-	// no checkpoint existed; training replayed from step 1).
+	// no checkpoint existed; training replayed from step 1). In elastic
+	// mode only the reborn rank reads it (the catch-up burst).
 	CheckpointStep int
-	// ResumeStep is the first global step replayed after the restore.
+	// ResumeStep is the first global step replayed after the restore;
+	// in elastic mode, the first generation the reborn rank took part in.
 	ResumeStep int
 	// RestoreBytes/RestoreSeconds total the restore read burst across
 	// all ranks (bytes read from checkpoint files, summed rank time).
 	RestoreBytes   int64
 	RestoreSeconds float64
+	// Elastic marks a continue-on-failure recovery: no rollback, the
+	// survivors re-sharded the victim's remaining work and kept going.
+	Elastic bool
+	// ElasticSteps is the continuation segment's lockstep step count.
+	ElasticSteps int
+	// ReshardFiles is how many of the victim's remaining files the
+	// survivors absorbed.
+	ReshardFiles int
 }
 
 // rankKilled is the panic sentinel a scheduled death throws from inside
@@ -143,6 +153,12 @@ type failureState struct {
 	restoreBytes   int64
 	restoreStartNs int64
 	restoreEndNs   int64
+	// Elastic recovery outcome (zero under rollback): the reborn rank's
+	// first participating generation and the continuation plan's shape.
+	resumeStep   int
+	elastic      bool
+	elasticSteps int
+	reshardFiles int
 }
 
 // driver is one distributed run's shared state: the elastic step barrier
@@ -169,6 +185,9 @@ type driver struct {
 	// at the death instant (the simulator's failure oracle preserves what
 	// a real crash would lose) and folded into the rank's job-end export.
 	preFail [][]*darshan.Snapshot
+	// elastic is the continue-on-failure continuation plan (elastic.go),
+	// computed once at the failure instant when Options.Elastic is set.
+	elastic elasticPlan
 	res     *Result
 }
 
@@ -193,8 +212,19 @@ func newDriver(c *platform.Cluster, opts Options, steps, epochs int) *driver {
 }
 
 // drainBarrier occupies the rank's slot for every lockstep step after an
-// unrecoverable per-rank error, so healthy peers do not park forever.
+// unrecoverable per-rank error, so healthy peers do not park forever. In
+// elastic mode the job's length is the plan's generation total, not the
+// nominal step count, so the drain is generation-based once a plan exists.
 func (d *driver) drainBarrier(t *sim.Thread) {
+	if d.opts.Elastic && d.elastic.total > 0 {
+		// Each Await participates in exactly one generation, so the count
+		// is fixed up front (a gen-polling loop would spin forever on a
+		// single-party barrier whose generations cost no simulated time).
+		for g := d.bar.Gen(); g < d.elastic.total; g++ {
+			d.bar.Await(t)
+		}
+		return
+	}
 	for s := 0; s < d.steps; s++ {
 		d.bar.Await(t)
 	}
@@ -205,15 +235,22 @@ func (d *driver) failureRecords() []FailureRecord {
 	var out []FailureRecord
 	for i := range d.fails {
 		fs := &d.fails[i]
+		rs := fs.ckptStep + 1
+		if fs.resumeStep > 0 {
+			rs = fs.resumeStep
+		}
 		out = append(out, FailureRecord{
 			Rank:           fs.ev.Rank,
 			Step:           fs.ev.Step,
 			FailSec:        sim.Seconds(fs.failNs),
 			RejoinSec:      sim.Seconds(fs.rejoinNs),
 			CheckpointStep: fs.ckptStep,
-			ResumeStep:     fs.ckptStep + 1,
+			ResumeStep:     rs,
 			RestoreBytes:   fs.restoreBytes,
 			RestoreSeconds: sim.Seconds(fs.restoreEndNs - fs.restoreStartNs),
+			Elastic:        fs.elastic,
+			ElasticSteps:   fs.elasticSteps,
+			ReshardFiles:   fs.reshardFiles,
 		})
 	}
 	return out
@@ -282,6 +319,11 @@ func (d *driver) mark(rr *RankResult, t *sim.Thread, st LifecycleState, step int
 // process, so a failed rank's merged history holds only committed
 // segments plus the replay.
 func mergeHistories(segs []*keras.History) *keras.History {
+	if len(segs) == 0 {
+		// An elastic victim commits no fit segments: its partial segment
+		// died with the process and its remaining work moved to survivors.
+		return &keras.History{}
+	}
 	if len(segs) == 1 {
 		return segs[0]
 	}
@@ -323,6 +365,7 @@ func (d *driver) runRank(t *sim.Thread, r int, paths []string) error {
 	ranks := len(d.c.Nodes)
 	node := d.c.Nodes[r]
 	node.Env.VerifyContent = opts.VerifyContent
+	d.applyRetry(node.Env, r)
 	newModel := func() *keras.Model {
 		if opts.Model != nil {
 			return opts.Model()
@@ -335,11 +378,14 @@ func (d *driver) runRank(t *sim.Thread, r int, paths []string) error {
 	// after the step barrier. A broken generation means a peer died
 	// mid-step: the step did not commit, so the gradient exchange is
 	// skipped and the rank stops at the next step boundary.
-	var gradCost sim.Duration
-	if d.linkBW > 0 && ranks > 1 {
+	gradCostFor := func(n int) sim.Duration {
+		if d.linkBW <= 0 || n <= 1 {
+			return 0
+		}
 		bytes := float64(model.ParamBytes())
-		gradCost = sim.Duration(2 * float64(ranks-1) / float64(ranks) * bytes / d.linkBW * 1e9)
+		return sim.Duration(2 * float64(n-1) / float64(n) * bytes / d.linkBW * 1e9)
 	}
+	gradCost := gradCostFor(ranks)
 	allReduce := func(t *sim.Thread, step int) {
 		if d.halted[r] {
 			return
@@ -373,13 +419,22 @@ func (d *driver) runRank(t *sim.Thread, r int, paths []string) error {
 	cb := &rankCallback{d: d, rank: r, result: rr}
 	var histories []*keras.History
 	base := 0
+	// contSeq, when non-nil, is this rank's elastic continuation sequence:
+	// its own remaining files plus its share of the victim's (elastic.go).
+	var contSeq []string
 	for {
 		// Build this segment's input pipeline. The first segment is the
 		// exact pre-failure construction; replay segments resume at the
 		// job sequence's base*Batch offset (steps 1..base committed their
-		// batches before the rollback point).
+		// batches before the rollback point); elastic continuation
+		// segments consume the re-sharded sequence.
 		var ds *tfdata.Dataset
-		if base == 0 {
+		segSteps := d.steps - base
+		switch {
+		case contSeq != nil:
+			ds = tfdata.FromFiles(node.Env, contSeq)
+			segSteps = d.elastic.steps
+		case base == 0:
 			ds = tfdata.FromFiles(node.Env, rankPaths)
 			rr.ShardFiles = ds.Size()
 			if opts.RankPaths == nil && d.epochs > 1 {
@@ -388,7 +443,7 @@ func (d *driver) runRank(t *sim.Thread, r int, paths []string) error {
 			if opts.InterleaveCycle > 0 && opts.InterleaveBlock > 0 {
 				ds = ds.Interleave(opts.InterleaveCycle, opts.InterleaveBlock)
 			}
-		} else {
+		default:
 			seq := epochSequence(rankPaths, d.epochs, opts.RankPaths != nil)
 			ds = tfdata.FromFiles(node.Env, seq[base*opts.Batch:])
 		}
@@ -398,7 +453,7 @@ func (d *driver) runRank(t *sim.Thread, r int, paths []string) error {
 			return err
 		}
 		cb.base = base
-		hist, killed, err := d.fitSegment(t, node, model, it, cb, allReduce, d.steps-base)
+		hist, killed, err := d.fitSegment(t, node, model, it, cb, allReduce, segSteps)
 		if err != nil {
 			return err
 		}
@@ -410,6 +465,31 @@ func (d *driver) runRank(t *sim.Thread, r int, paths []string) error {
 
 		// A failure event is in progress: this rank either died (killed
 		// is the fatal step) or observed the broken barrier and halted.
+		if cb.nextEv >= len(d.fails) {
+			return fmt.Errorf("distributed: rank %d: barrier broke with no scheduled failure event", r)
+		}
+		if opts.Elastic {
+			if killed > 0 {
+				if err := d.elasticVictim(t, r, killed, paths, newModel); err != nil {
+					return err
+				}
+				break
+			}
+			// Survivor: the broken step committed locally (the gradient
+			// exchange was skipped), so its history stands. Adopt the
+			// continuation shard and keep going with N−1 peers.
+			histories = append(histories, hist)
+			fs := &d.fails[cb.nextEv]
+			d.ensureElasticPlan(paths)
+			d.mark(rr, t, LifeDegraded, fs.ev.Step)
+			contSeq = d.elastic.seq[r]
+			d.halted[r] = false
+			cb.nextEv++
+			base = fs.ev.Step
+			gradCost = gradCostFor(ranks - 1)
+			d.mark(rr, t, LifeResharded, base+1)
+			continue
+		}
 		fs := &d.fails[cb.nextEv]
 		if killed > 0 {
 			fs.failNs = t.Now()
@@ -422,6 +502,7 @@ func (d *driver) runRank(t *sim.Thread, r int, paths []string) error {
 			t.Sleep(fs.ev.RebootDelay)
 			node = d.c.RejoinNode(r)
 			node.Env.VerifyContent = opts.VerifyContent
+			d.applyRetry(node.Env, r)
 			model = newModel()
 			rr.Incarnations++
 			fs.rejoinNs = t.Now()
@@ -478,7 +559,9 @@ func (d *driver) fitSegment(t *sim.Thread, node *platform.Machine, model *keras.
 			panic(p)
 		}
 		killed = k.step
-		d.preFail[r] = append(d.preFail[r], node.Darshan.Export(t.Now()))
+		snap := node.Darshan.Export(t.Now())
+		snap.Faults = envFaultCounters(node.Env)
+		d.preFail[r] = append(d.preFail[r], snap)
 		it.Close(t)
 	}()
 	hist, err = model.Fit(t, node.Env, it, keras.FitOptions{

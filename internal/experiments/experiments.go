@@ -113,6 +113,7 @@ func All() []Runner {
 		{"tune", "rank-aware autotuning and per-rank staging over merged logs", func(c Config) (Result, error) { return TuneExperiment(c) }},
 		{"prefetch", "clairvoyant per-epoch prefetching over node NVMe caches", func(c Config) (Result, error) { return PrefetchExperiment(c) }},
 		{"failover", "mid-epoch rank death, checkpoint rollback and restore read burst", func(c Config) (Result, error) { return FailoverExperiment(c) }},
+		{"elastic", "elastic continue-on-failure vs rollback under a transient-fault ladder", func(c Config) (Result, error) { return ElasticExperiment(c) }},
 	}
 }
 

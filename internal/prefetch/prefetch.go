@@ -30,12 +30,14 @@
 package prefetch
 
 import (
+	"errors"
 	"fmt"
 
 	"repro/internal/distributed"
 	"repro/internal/platform"
 	"repro/internal/sim"
 	"repro/internal/storage"
+	"repro/internal/tf"
 	"repro/internal/vfs"
 )
 
@@ -66,6 +68,11 @@ type Config struct {
 	// DefaultFetchers; always additionally clamped to Depth, since more
 	// workers than window permits just park).
 	Fetchers int
+	// Retry bounds how fetch workers retry transient fetch faults (EIO
+	// from a flaky OST). The zero policy gives up on the first fault; the
+	// file is then served cold to the consumer later — a degraded window,
+	// never a wedged one.
+	Retry tf.RetryPolicy
 }
 
 // Defaults for Config zero fields.
@@ -128,6 +135,9 @@ type Stats struct {
 	FetchedBytes int64
 	SkippedPeer  int64 // schedule entries already resident on a peer
 	Refused      int64 // files that did not fit even after eviction
+	FetchFaults  int64 // transient fetch faults observed
+	FetchRetries int64 // fetches reissued after a transient fault
+	FetchGiveups int64 // schedule entries abandoned after exhausting retries
 }
 
 // inflight is one fetched-but-unconsumed schedule entry: the permits it
@@ -243,8 +253,14 @@ func (p *Prefetcher) fetchLoop(t *sim.Thread) {
 			}
 			return
 		}
-		if _, ok := p.cache.Fetch(t, path); !ok {
-			p.stats.Refused++
+		if err := p.fetch(t, path); err != nil {
+			if errors.Is(err, vfs.ErrIO) {
+				// Transient fault survived every retry: abandon the entry;
+				// the consumer reads the file cold from the PFS later.
+				p.stats.FetchGiveups++
+			} else {
+				p.stats.Refused++
+			}
 			p.window.Release(t, 1)
 			if need > 0 {
 				p.bytes.Release(t, need)
@@ -262,6 +278,33 @@ func (p *Prefetcher) fetchLoop(t *sim.Thread) {
 			}
 		} else {
 			p.inflight[path] = &inflight{bytes: need}
+		}
+	}
+}
+
+// fetch pulls one schedule entry into the cache under the retry policy:
+// transient faults (ErrIO) are reissued up to MaxRetries times with
+// backed-off seeded-jitter sleeps; other errors (and an exhausted budget)
+// surface to the caller. The schedule cursor seeds each entry's jitter, so
+// the backoff schedule is reproducible run-to-run.
+func (p *Prefetcher) fetch(t *sim.Thread, path string) error {
+	pol := p.cfg.Retry
+	op := int64(p.next) // cursor already advanced past this entry
+	for attempt := 0; ; attempt++ {
+		_, err := p.cache.Fetch(t, path)
+		if err == nil || !errors.Is(err, vfs.ErrIO) {
+			return err
+		}
+		p.stats.FetchFaults++
+		if attempt >= pol.MaxRetries {
+			return err
+		}
+		if d := pol.Backoff(op, attempt+1); d > 0 {
+			t.Sleep(d)
+		}
+		p.stats.FetchRetries++
+		if p.stopped {
+			return err
 		}
 	}
 }

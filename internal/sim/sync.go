@@ -212,6 +212,11 @@ func NewBarrier(parties int) *Barrier {
 // Parties returns the current number of parties.
 func (b *Barrier) Parties() int { return b.parties }
 
+// Gen returns the number of generations tripped so far. In a cooperative
+// kernel a reader that has not parked since its last barrier operation
+// observes a consistent value.
+func (b *Barrier) Gen() int { return b.gen }
+
 // Await blocks until all parties arrive. A single-party barrier returns
 // immediately without parking or advancing virtual time.
 func (b *Barrier) Await(t *Thread) {
@@ -246,7 +251,10 @@ func (b *Barrier) AwaitBroken(t *Thread) bool {
 
 // consumeSolo handles the parties==1 fast path: the sole party trips each
 // generation by itself, consuming a pending break mark without parking.
+// The generation counter still ticks — a late joiner (Barrier.Join) reads
+// Gen() to learn how many generations the survivor completed alone.
 func (b *Barrier) consumeSolo() bool {
+	b.gen++
 	broken := b.genBroken
 	b.genBroken = false
 	return broken
@@ -266,11 +274,18 @@ func (b *Barrier) release(t *Thread) {
 // generation in progress as broken. If the departing party was the only
 // arrival missing, the generation trips immediately so current waiters
 // run (and observe the break) instead of deadlocking.
-func (b *Barrier) Leave(t *Thread) {
+//
+// Leave reports whether any parties survive the departure. A sole party
+// leaving cannot hand the job to anyone: the barrier keeps its single
+// party (so it stays usable), the pending break mark is set for the next
+// solo Await, and Leave returns false — the caller must abort the job
+// with a structured error rather than expect survivors to carry on.
+func (b *Barrier) Leave(t *Thread) bool {
 	b.mu.Lock(t)
 	if b.parties <= 1 {
+		b.genBroken = true
 		b.mu.Unlock(t)
-		panic("sim: Leave on a barrier with a single party")
+		return false
 	}
 	b.parties--
 	b.genBroken = true
@@ -278,6 +293,7 @@ func (b *Barrier) Leave(t *Thread) {
 		b.release(t)
 	}
 	b.mu.Unlock(t)
+	return true
 }
 
 // Join adds a party to the barrier (a node rejoining the computation). It

@@ -1,0 +1,83 @@
+package tf
+
+import (
+	"repro/internal/sim"
+)
+
+// RetryPolicy bounds how the runtime retries transient I/O errors (EIO
+// from a flaky OST, a failed prefetch fill): a capped number of reissues
+// with exponential backoff and deterministic seeded jitter, all in
+// simulated time. The zero value disables retrying entirely — readers
+// surface the first error, bit-identical to the pre-policy runtime.
+type RetryPolicy struct {
+	// MaxRetries is the number of reissues after the first attempt
+	// (0 = no retrying).
+	MaxRetries int
+	// BaseBackoff is the nominal sleep before the first reissue; each
+	// further reissue doubles it, capped at MaxBackoff.
+	BaseBackoff sim.Duration
+	// MaxBackoff caps the exponential backoff (0 = uncapped).
+	MaxBackoff sim.Duration
+	// OpTimeout, when positive, marks operations whose total duration
+	// (attempts plus backoff) exceeded it. Timeouts are counted, not
+	// enforced mid-flight: the simulated syscalls are not cancelable,
+	// matching a deadline checked between attempts.
+	OpTimeout sim.Duration
+	// Seed drives the backoff jitter; identical seeds reproduce identical
+	// backoff schedules run-to-run.
+	Seed int64
+}
+
+// Enabled reports whether the policy retries at all.
+func (p RetryPolicy) Enabled() bool { return p.MaxRetries > 0 }
+
+// retryMix is splitmix64, the finalizer behind the jitter rolls.
+func retryMix(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}
+
+// Backoff returns the sleep before reissue number attempt (1-based) of
+// operation op: BaseBackoff·2^(attempt-1), capped at MaxBackoff, scaled
+// by a deterministic jitter in [0.5, 1.5) seeded from (Seed, op, attempt).
+func (p RetryPolicy) Backoff(op int64, attempt int) sim.Duration {
+	if p.BaseBackoff <= 0 || attempt < 1 {
+		return 0
+	}
+	d := p.BaseBackoff
+	for i := 1; i < attempt; i++ {
+		d *= 2
+		if p.MaxBackoff > 0 && d >= p.MaxBackoff {
+			d = p.MaxBackoff
+			break
+		}
+	}
+	if p.MaxBackoff > 0 && d > p.MaxBackoff {
+		d = p.MaxBackoff
+	}
+	h := retryMix(uint64(p.Seed) ^ uint64(op)<<20 ^ uint64(attempt))
+	jitter := 0.5 + float64(h>>11)/float64(1<<53)
+	return sim.Duration(float64(d) * jitter)
+}
+
+// RetryStats tallies retry-policy activity.
+type RetryStats struct {
+	Ops       int64 // guarded operations issued
+	Faults    int64 // transient errors observed
+	Retries   int64 // operations reissued
+	Giveups   int64 // operations that exhausted MaxRetries
+	Timeouts  int64 // operations whose total duration exceeded OpTimeout
+	BackoffNs int64 // simulated time spent backing off
+}
+
+// Add accumulates o into s.
+func (s *RetryStats) Add(o RetryStats) {
+	s.Ops += o.Ops
+	s.Faults += o.Faults
+	s.Retries += o.Retries
+	s.Giveups += o.Giveups
+	s.Timeouts += o.Timeouts
+	s.BackoffNs += o.BackoffNs
+}

@@ -32,6 +32,13 @@ type Env struct {
 	// way; only host CPU time differs. Off by default.
 	VerifyContent bool
 
+	// Retry is the process-wide policy for retrying transient I/O errors
+	// (retry.go). The zero value retries nothing: every I/O error is
+	// final, exactly the pre-policy behavior.
+	Retry RetryPolicy
+	// RetryStats tallies the policy's activity for this process.
+	RetryStats RetryStats
+
 	scratch map[int][]byte
 }
 

@@ -1,0 +1,55 @@
+package tfio
+
+import (
+	"errors"
+
+	"repro/internal/sim"
+	"repro/internal/tf"
+	"repro/internal/vfs"
+)
+
+// retryRead guards one read attempt of a whole-file/shard read loop with
+// the environment's RetryPolicy: a transient error (EIO from a flaky OST)
+// is reissued up to MaxRetries times with exponentially backed-off,
+// seeded-jitter sleeps in simulated time. Non-transient errors and
+// exhausted budgets surface to the caller unchanged. With the zero policy
+// this is exactly one call to op — no sleeps, no simulated-time change.
+//
+// The per-op deadline is accounted, not enforced: opStart is the first
+// attempt's start, and an operation whose attempts plus backoff overrun
+// OpTimeout bumps the Timeouts counter when it resolves (the simulated
+// syscalls are not cancelable mid-flight, like a deadline checked between
+// attempts). Reads are idempotent here — pread is stateless and the
+// stream layer advances its offset only on success — so a reissue always
+// re-covers the same span.
+func retryRead(t *sim.Thread, env *tf.Env, op func() error) error {
+	p := env.Retry
+	if !p.Enabled() {
+		return op()
+	}
+	s := &env.RetryStats
+	s.Ops++
+	id := s.Ops
+	start := t.Now()
+	var err error
+	for attempt := 0; ; attempt++ {
+		err = op()
+		if err == nil || !errors.Is(err, vfs.ErrIO) {
+			break
+		}
+		s.Faults++
+		if attempt >= p.MaxRetries {
+			s.Giveups++
+			break
+		}
+		if d := p.Backoff(id, attempt+1); d > 0 {
+			t.Sleep(d)
+			s.BackoffNs += int64(d)
+		}
+		s.Retries++
+	}
+	if p.OpTimeout > 0 && t.Now()-start > int64(p.OpTimeout) {
+		s.Timeouts++
+	}
+	return err
+}

@@ -1,0 +1,149 @@
+package tfio
+
+import (
+	"errors"
+	"testing"
+
+	"repro/internal/platform"
+	"repro/internal/sim"
+	"repro/internal/tf"
+	"repro/internal/vfs"
+)
+
+func retryPolicy(seed int64) tf.RetryPolicy {
+	return tf.RetryPolicy{
+		MaxRetries:  4,
+		BaseBackoff: 2 * sim.Millisecond,
+		MaxBackoff:  50 * sim.Millisecond,
+		OpTimeout:   sim.Second,
+		Seed:        seed,
+	}
+}
+
+// TestRetryRecoversInjectedEIO: with a retry policy armed, a read that
+// hits an injected transient EIO is reissued and the file read completes;
+// the activity lands in RetryStats.
+func TestRetryRecoversInjectedEIO(t *testing.T) {
+	m := greendog()
+	size := int64(3*ReadChunk + 1234)
+	m.FS.CreateFile(platform.GreendogHDDPath+"/f.bin", size)
+	m.FS.InjectFaults(vfs.FaultPlan{ReadErrNth: 3})
+	m.Env.Retry = retryPolicy(7)
+	run(t, m, func(th *sim.Thread) {
+		n, err := ReadFile(th, m.Env, platform.GreendogHDDPath+"/f.bin")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if n != size {
+			t.Fatalf("read %d bytes, want %d", n, size)
+		}
+	})
+	s := m.Env.RetryStats
+	if s.Faults == 0 || s.Retries == 0 {
+		t.Fatalf("retry stats = %+v, want observed faults and retries", s)
+	}
+	if s.Giveups != 0 {
+		t.Fatalf("retry stats = %+v, want no giveups under Nth=3 with 4 retries", s)
+	}
+	if s.BackoffNs <= 0 {
+		t.Fatalf("retry stats = %+v, want backoff time charged", s)
+	}
+}
+
+// TestRetryDisabledSurfacesEIO: the zero policy retries nothing — the
+// injected error reaches the caller, matching pre-policy behavior.
+func TestRetryDisabledSurfacesEIO(t *testing.T) {
+	m := greendog()
+	m.FS.CreateFile(platform.GreendogHDDPath+"/f.bin", int64(3*ReadChunk))
+	m.FS.InjectFaults(vfs.FaultPlan{ReadErrNth: 2})
+	run(t, m, func(th *sim.Thread) {
+		_, err := ReadFile(th, m.Env, platform.GreendogHDDPath+"/f.bin")
+		if !errors.Is(err, vfs.ErrIO) {
+			t.Fatalf("err = %v, want ErrIO surfaced", err)
+		}
+	})
+	if s := m.Env.RetryStats; s.Retries != 0 {
+		t.Fatalf("retry stats = %+v, want none with the zero policy", s)
+	}
+}
+
+// TestRetryGivesUpAfterBudget: a permanently failing read (every read
+// faults) exhausts MaxRetries and surfaces the error, counted as a giveup.
+func TestRetryGivesUpAfterBudget(t *testing.T) {
+	m := greendog()
+	m.FS.CreateFile(platform.GreendogHDDPath+"/f.bin", int64(ReadChunk))
+	m.FS.InjectFaults(vfs.FaultPlan{ReadErrNth: 1})
+	m.Env.Retry = retryPolicy(7)
+	run(t, m, func(th *sim.Thread) {
+		_, err := ReadFile(th, m.Env, platform.GreendogHDDPath+"/f.bin")
+		if !errors.Is(err, vfs.ErrIO) {
+			t.Fatalf("err = %v, want ErrIO after exhausting retries", err)
+		}
+	})
+	s := m.Env.RetryStats
+	if s.Giveups != 1 {
+		t.Fatalf("retry stats = %+v, want one giveup", s)
+	}
+	if s.Retries != int64(m.Env.Retry.MaxRetries) {
+		t.Fatalf("retry stats = %+v, want the full retry budget spent", s)
+	}
+}
+
+// TestRetryBackoffDeterminism: identical seeds reproduce the backoff
+// schedule exactly (same total backoff time, same end time); the jitter is
+// sim-time-seeded, not wall-clock.
+func TestRetryBackoffDeterminism(t *testing.T) {
+	runOnce := func(seed int64) (tf.RetryStats, int64) {
+		m := greendog()
+		m.FS.CreateFile(platform.GreendogHDDPath+"/f.bin", int64(3*ReadChunk))
+		m.FS.InjectFaults(vfs.FaultPlan{Seed: 9, ReadErrRate: 0.4})
+		m.Env.Retry = retryPolicy(seed)
+		run(t, m, func(th *sim.Thread) {
+			// Giveups are fine here; only the schedule's determinism matters.
+			ReadFile(th, m.Env, platform.GreendogHDDPath+"/f.bin")
+		})
+		return m.Env.RetryStats, m.K.Now()
+	}
+	s1, end1 := runOnce(7)
+	s2, end2 := runOnce(7)
+	if s1 != s2 || end1 != end2 {
+		t.Fatalf("same-seed runs diverge: %+v @%d vs %+v @%d", s1, end1, s2, end2)
+	}
+	if s1.Faults == 0 {
+		t.Fatal("rate 0.4 injected nothing; the determinism check is vacuous")
+	}
+	s3, _ := runOnce(8)
+	if s1.BackoffNs == s3.BackoffNs && s1.Faults > 1 {
+		t.Logf("note: seeds 7 and 8 produced identical backoff (%d ns); jitter may be degenerate", s1.BackoffNs)
+	}
+}
+
+// TestRetryRestoreCheckpoint: the buffered STDIO restore path is guarded
+// by the same policy.
+func TestRetryRestoreCheckpoint(t *testing.T) {
+	m := greendog()
+	vars := []Variable{{Name: "w", Bytes: 4 << 20}}
+	var prefix = platform.GreendogHDDPath + "/ckpt-0001"
+	run(t, m, func(th *sim.Thread) {
+		if _, err := WriteCheckpoint(th, m.Env, prefix, vars); err != nil {
+			t.Fatal(err)
+		}
+	})
+	m.FS.InjectFaults(vfs.FaultPlan{ReadErrNth: 2})
+	m.Env.Retry = retryPolicy(3)
+	m.K.Spawn("restore", func(th *sim.Thread) {
+		n, err := RestoreCheckpoint(th, m.Env, prefix, vars)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if n <= 0 {
+			t.Fatalf("restored %d bytes", n)
+		}
+	})
+	if err := m.K.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if s := m.Env.RetryStats; s.Retries == 0 {
+		t.Fatalf("retry stats = %+v, want restore reads retried", s)
+	}
+}

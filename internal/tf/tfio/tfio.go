@@ -47,7 +47,11 @@ func ReadFile(t *sim.Thread, env *tf.Env, path string) (int64, error) {
 	}
 	var total int64
 	for {
-		n, err := env.Libc.PreadDiscard(t, fd, ReadChunk, total)
+		var n int
+		err := retryRead(t, env, func() (e error) {
+			n, e = env.Libc.PreadDiscard(t, fd, ReadChunk, total)
+			return e
+		})
 		if err != nil {
 			return total, fmt.Errorf("tfio: %w", err)
 		}
@@ -66,7 +70,11 @@ func verifiedPreadLoop(t *sim.Thread, env *tf.Env, path string, fd int, chunk in
 	sum := vfs.ChecksumSeed()
 	var total int64
 	for {
-		n, err := env.Libc.Pread(t, fd, buf, total)
+		var n int
+		err := retryRead(t, env, func() (e error) {
+			n, e = env.Libc.Pread(t, fd, buf, total)
+			return e
+		})
 		if err != nil {
 			return total, err
 		}
@@ -125,7 +133,11 @@ func ReadFileBuffered(t *sim.Thread, env *tf.Env, path string) (int64, error) {
 	}
 	var total int64
 	for {
-		n, err := env.Libc.FreadDiscard(t, st, StdioReadChunk)
+		var n int
+		err := retryRead(t, env, func() (e error) {
+			n, e = env.Libc.FreadDiscard(t, st, StdioReadChunk)
+			return e
+		})
 		if err != nil {
 			return total, fmt.Errorf("tfio: %w", err)
 		}
@@ -144,7 +156,11 @@ func verifiedFreadLoop(t *sim.Thread, env *tf.Env, path string, st *vfs.Stream, 
 	sum := vfs.ChecksumSeed()
 	var total int64
 	for {
-		n, err := env.Libc.Fread(t, st, buf)
+		var n int
+		err := retryRead(t, env, func() (e error) {
+			n, e = env.Libc.Fread(t, st, buf)
+			return e
+		})
 		if err != nil {
 			return total, err
 		}

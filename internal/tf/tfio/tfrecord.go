@@ -111,7 +111,11 @@ func ScanShard(t *sim.Thread, env *tf.Env, idx *ShardIndex) (int64, error) {
 	}
 	var total int64
 	for {
-		n, err := env.Libc.PreadDiscard(t, fd, TFRecordReadBuf, total)
+		var n int
+		err := retryRead(t, env, func() (e error) {
+			n, e = env.Libc.PreadDiscard(t, fd, TFRecordReadBuf, total)
+			return e
+		})
 		if err != nil {
 			return total, fmt.Errorf("tfio: %w", err)
 		}

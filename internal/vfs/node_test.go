@@ -116,8 +116,8 @@ func TestNodeCacheLocalAndPeerServing(t *testing.T) {
 			t.Fatalf("cold read: stats = %+v, want one PFS read", s)
 		}
 		// Fetch into node 0's cache, then node 0 hits locally.
-		if _, ok := caches[0].Fetch(th, "/data/x.bin"); !ok {
-			t.Fatal("fetch refused")
+		if _, err := caches[0].Fetch(th, "/data/x.bin"); err != nil {
+			t.Fatal("fetch refused:", err)
 		}
 		readAll(th, v0)
 		if s := caches[0].Stats(); s.LocalHits != 1 {
@@ -150,8 +150,8 @@ func TestNodeCacheWriteInvalidates(t *testing.T) {
 		t.Fatal(err)
 	}
 	runSim(t, func(th *sim.Thread) {
-		if _, ok := caches[0].Fetch(th, "/data/x.bin"); !ok {
-			t.Fatal("fetch refused")
+		if _, err := caches[0].Fetch(th, "/data/x.bin"); err != nil {
+			t.Fatal("fetch refused:", err)
 		}
 		fd, err := fs.Open(th, "/data/x.bin", O_WRONLY)
 		if err != nil {
@@ -224,8 +224,8 @@ func TestNodeCacheEvictionBound(t *testing.T) {
 	v := fs.NodeView(0)
 	runSim(t, func(th *sim.Thread) {
 		for _, p := range paths {
-			if _, ok := c.Fetch(th, p); !ok {
-				t.Fatalf("fetch %s refused", p)
+			if _, err := c.Fetch(th, p); err != nil {
+				t.Fatalf("fetch %s refused: %v", p, err)
 			}
 			if c.Used() > c.Capacity() {
 				t.Fatalf("cache exceeded capacity: %d > %d", c.Used(), c.Capacity())
@@ -269,11 +269,11 @@ func TestNodeCacheRefusesOversizedFile(t *testing.T) {
 	}
 	c := caches[0]
 	runSim(t, func(th *sim.Thread) {
-		if _, ok := c.Fetch(th, "/data/small.bin"); !ok {
-			t.Fatal("small fetch refused")
+		if _, err := c.Fetch(th, "/data/small.bin"); err != nil {
+			t.Fatal("small fetch refused:", err)
 		}
-		if _, ok := c.Fetch(th, "/data/big.bin"); ok {
-			t.Fatal("oversized fetch accepted")
+		if _, err := c.Fetch(th, "/data/big.bin"); err != ErrNoSpace {
+			t.Fatalf("oversized fetch: err = %v, want ErrNoSpace", err)
 		}
 		if !c.Contains("/data/small.bin") {
 			t.Fatal("refused oversized fetch evicted resident entries")

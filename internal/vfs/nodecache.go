@@ -44,6 +44,7 @@ type NodeCacheStats struct {
 	PeerMetaHits int64 // cold opens resolved from a peer cache, not the MDS
 	BulkLookups  int64 // batched (statahead-style) MDS round trips
 	BulkFiles    int64 // files warmed through bulk lookups
+	PeerAborts   int64 // peer serves abandoned mid-flight (peer died or faulted)
 }
 
 // cacheEntry is one whole-file copy resident in a node cache.
@@ -204,23 +205,29 @@ func (c *NodeCache) evictFor(need int64) bool {
 // Fetch pulls the whole file from its backing mount into the cache: a read
 // of the source device plus a write of the cache device, both charged to
 // the calling (prefetcher) thread. Files already resident are re-marked
-// unconsumed (a fresh prefetch pins them). Returns false when the file
-// does not fit even after eviction; the file is then left uncached.
-func (c *NodeCache) Fetch(t *sim.Thread, p string) (int64, bool) {
+// unconsumed (a fresh prefetch pins them). Errors: ErrNotExist for an
+// unknown path, ErrNoSpace when the file does not fit even after eviction
+// (the file is then left uncached, resident entries untouched), and ErrIO
+// for an injected transient read fault (retryable — the source was never
+// read).
+func (c *NodeCache) Fetch(t *sim.Thread, p string) (int64, error) {
 	ino, ok := c.fs.inodes[path.Clean(p)]
 	if !ok {
-		return 0, false
+		return 0, ErrNotExist
 	}
 	if e, ok := c.entries[ino]; ok {
 		e.consumed = false
 		c.touch(e)
-		return 0, true
+		return 0, nil
+	}
+	if err := c.fs.dataReadFault(c.node, true); err != nil {
+		return 0, err
 	}
 	if !c.evictFor(ino.Size) {
-		return 0, false
+		return 0, ErrNoSpace
 	}
 	if ino.Size > 0 {
-		ino.Mnt.Dev.Read(t, ino.Extent+0, ino.Size)
+		c.fs.chargePFSRead(t, c.node, ino, 0, ino.Size)
 		if c.cursor+ino.Size > c.cfg.Capacity {
 			c.cursor = 0 // wrap the rotating log
 		}
@@ -233,7 +240,7 @@ func (c *NodeCache) Fetch(t *sim.Thread, p string) (int64, bool) {
 	c.used += e.size
 	c.stats.Inserts++
 	c.stats.InsertBytes += e.size
-	return e.size, true
+	return e.size, nil
 }
 
 // markConsumed flags the entry evictable and fires the consumption signal.
@@ -294,7 +301,7 @@ func (c *NodeCache) peerHolder(ino *Inode) *NodeCache {
 func (fs *FS) readData(t *sim.Thread, node int, ino *Inode, off, n int64) {
 	c := fs.NodeCacheAt(node)
 	if c == nil {
-		ino.Mnt.Dev.Read(t, ino.Extent+off, n)
+		fs.chargePFSRead(t, node, ino, off, n)
 		return
 	}
 	if e, ok := c.entries[ino]; ok {
@@ -307,16 +314,32 @@ func (fs *FS) readData(t *sim.Thread, node int, ino *Inode, off, n int64) {
 	}
 	if c.cfg.PeerServing {
 		if p := c.peerHolder(ino); p != nil {
-			e := p.entries[ino]
-			p.cfg.Device.Read(t, e.pos+off, n)
-			c.peerTransfer(t, n)
-			c.stats.PeerHits++
-			c.stats.PeerBytes += n
-			c.consume(t, ino)
-			return
+			if fs.peerServeFault(node) {
+				// The serve died before any data moved: pay the RPC
+				// round trip, then fall back to the backing mount.
+				c.peerTransfer(t, 0)
+				c.stats.PeerAborts++
+			} else {
+				e := p.entries[ino]
+				p.cfg.Device.Read(t, e.pos+off, n)
+				c.peerTransfer(t, n)
+				// Revalidate after the transfer: the peer's device read
+				// and the interconnect hop take simulated time, and the
+				// peer may have died (DropNodeState) while the serve was
+				// in flight. Its extents are then stale — discard the
+				// bytes and fall back to the backing mount rather than
+				// serve a dead node's cache.
+				if _, live := p.entries[ino]; live {
+					c.stats.PeerHits++
+					c.stats.PeerBytes += n
+					c.consume(t, ino)
+					return
+				}
+				c.stats.PeerAborts++
+			}
 		}
 	}
-	ino.Mnt.Dev.Read(t, ino.Extent+off, n)
+	fs.chargePFSRead(t, node, ino, off, n)
 	c.stats.PFSReads++
 	c.stats.PFSBytes += n
 	c.consume(t, ino)
@@ -365,7 +388,7 @@ func (fs *FS) BulkColdOpen(t *sim.Thread, node int, paths []string) int {
 		warmed++
 		if !charged[ino.Mnt] {
 			charged[ino.Mnt] = true
-			ino.Mnt.Dev.Metadata(t, ino.Extent-64*storage.KiB)
+			fs.chargeMeta(t, ino.Mnt, node, ino.Extent-64*storage.KiB)
 		}
 	}
 	if warmed > 0 {

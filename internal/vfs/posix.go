@@ -106,6 +106,9 @@ func (fs *FS) preadSpan(t *sim.Thread, fd int, count, off int64) (*openFile, int
 	if off+n > ino.Size {
 		n = ino.Size - off
 	}
+	if err := fs.dataReadFault(of.node, false); err != nil {
+		return nil, -1, err
+	}
 	fs.readData(t, of.node, ino, off, n)
 	return of, n, nil
 }

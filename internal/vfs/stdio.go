@@ -153,6 +153,11 @@ func (s *Stdio) freadSpan(t *sim.Thread, st *Stream, count int64) (off int64, n 
 		n = ino.Size - st.offset
 	}
 	off = st.offset
+	// Fault check precedes the offset advance: a retried fread re-reads
+	// the same span, exactly like a userland retry loop over fread(3).
+	if err := s.fs.dataReadFault(st.node, false); err != nil {
+		return 0, 0, err
+	}
 	s.fs.readData(t, st.node, ino, off, n)
 	st.offset += n
 	return off, n, nil

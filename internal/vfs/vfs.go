@@ -40,6 +40,8 @@ var (
 	ErrWriteOny = errors.New("vfs: file not open for reading") // EBADF on read
 	ErrNoMount  = errors.New("vfs: no mount for path")
 	ErrInvalid  = errors.New("vfs: invalid argument") // EINVAL
+	ErrIO       = errors.New("vfs: input/output error") // EIO (transient)
+	ErrNoSpace  = errors.New("vfs: no space on device") // ENOSPC
 )
 
 // Open flags (subset of fcntl.h).
@@ -88,6 +90,8 @@ type FS struct {
 	// caches holds the per-node data caches (nil when a node has none),
 	// indexed by node id.
 	caches []*NodeCache
+	// faults, when non-nil, is the armed transient-fault plan (fault.go).
+	faults *faultState
 }
 
 // Mount binds a path prefix to a device with its metadata-cost policy.
@@ -402,7 +406,7 @@ func (fs *FS) chargeColdOpen(t *sim.Thread, node int, ino *Inode) {
 		acc := accAt(&m.dirAcc, node)
 		*acc += m.DirMetaTrips
 		for *acc >= 1 {
-			m.Dev.Metadata(t, ino.Extent)
+			fs.chargeMeta(t, m, node, ino.Extent)
 			*acc--
 		}
 	}
@@ -416,7 +420,7 @@ func (fs *FS) chargeColdOpen(t *sim.Thread, node int, ino *Inode) {
 		for *acc >= 1 {
 			// ext4 places inode tables in the file's block group, so the
 			// lookup lands near (but not at) the data extent.
-			m.Dev.Metadata(t, ino.Extent-64*storage.KiB)
+			fs.chargeMeta(t, m, node, ino.Extent-64*storage.KiB)
 			*acc--
 		}
 	}

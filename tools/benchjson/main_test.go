@@ -74,6 +74,23 @@ func TestParseBenchLine(t *testing.T) {
 			ok: true,
 		},
 		{
+			// The elastic experiment's headline metrics must survive the
+			// parse so the BENCH_<n>.json snapshots track the elastic-vs-
+			// rollback downtime gap and the retry volume per commit.
+			name: "elastic line with downtime delta and retry metrics",
+			line: "BenchmarkElastic-8   1   912345678 ns/op   4.217 elastic_downtime_delta_s   36.000 retry_total   11.402 ranks8_storm_rollback_s   8.916 ranks8_storm_elastic_s",
+			want: Benchmark{
+				Name: "Elastic", Iterations: 1, NsPerOp: 912345678,
+				Metrics: map[string]float64{
+					"elastic_downtime_delta_s": 4.217,
+					"retry_total":              36.000,
+					"ranks8_storm_rollback_s":  11.402,
+					"ranks8_storm_elastic_s":   8.916,
+				},
+			},
+			ok: true,
+		},
+		{
 			name: "serial procs suffix absent",
 			line: "BenchmarkRanksScaling   2   1000 ns/op",
 			want: Benchmark{Name: "RanksScaling", Iterations: 2, NsPerOp: 1000},
