@@ -1,6 +1,6 @@
 GO ?= go
 # BENCH_N names the committed perf-trajectory snapshot for this PR series.
-BENCH_OUT ?= BENCH_6.json
+BENCH_OUT ?= BENCH_7.json
 BENCH_SCALE ?= 0.2
 
 .PHONY: build test race bench bench-json

@@ -186,3 +186,16 @@ func BenchmarkFailover(b *testing.B) { runArtifact(b, "failover") }
 // no-restore-storm, reads-after-failure and clean-runs-retry-free
 // invariants are verified inside the experiment.
 func BenchmarkElastic(b *testing.B) { runArtifact(b, "elastic") }
+
+// BenchmarkDataService runs the disaggregated tf.data service experiment:
+// per worker-fleet size, a concurrent-job ramp ({4,16,64,256} jobs, each
+// an independently shuffled epoch over one shared corpus) served by
+// dispatcher-leased data workers through a peer-served NVMe cache tier,
+// against the same jobs as independent cold pipelines. The headline
+// dataservice_jobs_knee, dataservice_dedup_ratio and
+// dataservice_speedup_vs_independent_x metrics (plus per-rung wall times
+// and resource utilizations) land in the BENCH_<n>.json perf snapshots.
+// The batch-exactness, PFS-bytes-within-[corpus, cold] and
+// beats-independent-pipelines invariants are verified inside the
+// experiment.
+func BenchmarkDataService(b *testing.B) { runArtifact(b, "dataservice") }

@@ -40,6 +40,7 @@ func main() {
 	prefetchFlag := fs.Bool("prefetch", false, "run the clairvoyant prefetching experiment (adds 'prefetch' to the id list)")
 	failoverFlag := fs.Bool("failover", false, "run the failure/recovery experiment (adds 'failover' to the id list)")
 	elasticFlag := fs.Bool("elastic", false, "run the elastic-vs-rollback fault-ladder experiment (adds 'elastic' to the id list)")
+	dataserviceFlag := fs.Bool("dataservice", false, "run the disaggregated tf.data service experiment (adds 'dataservice' to the id list)")
 	parallel := fs.Int("parallel", 1, "simulation kernels to run concurrently on host CPUs (0 = one per core; results are byte-identical at any setting)")
 	outDir := fs.String("out", ".", "artifact output directory")
 	if err := fs.Parse(os.Args[2:]); err != nil {
@@ -89,6 +90,9 @@ func main() {
 		}
 		if *elasticFlag && !slices.Contains(ids, "elastic") {
 			ids = append(ids, "elastic")
+		}
+		if *dataserviceFlag && !slices.Contains(ids, "dataservice") {
+			ids = append(ids, "dataservice")
 		}
 		if len(ids) == 0 {
 			usage()
@@ -144,8 +148,8 @@ func main() {
 func usage() {
 	fmt.Fprintln(os.Stderr, `usage:
   tfdarshan list
-  tfdarshan run       [-scale f] [-seed n] [-verify] [-ranks n] [-tune] [-prefetch] [-failover] [-elastic] [-parallel n] <id>...|all
-  tfdarshan metrics   [-scale f] [-seed n] [-verify] [-ranks n] [-tune] [-prefetch] [-failover] [-elastic] [-parallel n] <id>...|all
+  tfdarshan run       [-scale f] [-seed n] [-verify] [-ranks n] [-tune] [-prefetch] [-failover] [-elastic] [-dataservice] [-parallel n] <id>...|all
+  tfdarshan metrics   [-scale f] [-seed n] [-verify] [-ranks n] [-tune] [-prefetch] [-failover] [-elastic] [-dataservice] [-parallel n] <id>...|all
   tfdarshan artifacts [-scale f] [-ranks n] [-out dir] <imagenet|malware|distributed>
 
 the "ranks" experiment shards ImageNet over N data-parallel ranks on one
@@ -177,6 +181,15 @@ keep committing steps while the reborn rank catches up alone), under a
 ladder of injected transient faults (flaky reads with bounded retries, an
 MDS brownout, a degraded-OST window) — elastic must beat rollback on
 wall time at every rung
+
+-dataservice (or the "dataservice" id) runs the disaggregated tf.data
+service experiment: a dispatcher admits concurrent training jobs and
+leases per-job shards to a fleet of data workers that read, decode and
+batch on the jobs' behalf over shared Lustre through a peer-served node
+NVMe cache tier, ramping jobs {4,16,64,256} per fleet size and reporting
+which resource saturates first (PFS bandwidth, shared MDS, cache tier,
+dispatcher), against the same jobs run as independent cold pipelines;
+-ranks pins the fleet size
 
 "artifacts distributed" runs the cluster job at -ranks ranks (default 4)
 and writes the merged darshan.log (nprocs > 1, rank -1 shared records,

@@ -1,0 +1,71 @@
+package dataservice
+
+import (
+	"repro/internal/sim"
+)
+
+// DispatcherStats counts control-plane activity. BusyNs is the time the
+// dispatcher spent servicing RPCs — divided by the run's wall time it is
+// the dispatcher's utilization, the number that says whether the control
+// plane (rather than storage) is what saturates under a job ramp.
+type DispatcherStats struct {
+	Registers     int64 // jobs registered
+	Unregisters   int64 // jobs unregistered
+	Leases        int64 // shard leases granted (one per worker per job)
+	LeaseReleases int64 // shard leases released at unregister
+	BusyNs        int64 // simulated time spent servicing RPCs
+	PeakJobs      int   // most jobs registered at once
+}
+
+// Dispatcher is the service's control plane: one logical process that
+// registers jobs, grants per-worker shard leases and releases them at
+// unregister. Every RPC serializes through the dispatcher and costs a
+// fixed service latency, so a flood of concurrent registrations queues —
+// the dispatcher is a saturable resource like the MDS, not bookkeeping.
+type Dispatcher struct {
+	mu      sim.Mutex
+	latency sim.Duration
+	active  int
+	stats   DispatcherStats
+}
+
+func newDispatcher(latency sim.Duration) *Dispatcher {
+	return &Dispatcher{latency: latency}
+}
+
+// rpc serializes ops control-plane round trips through the dispatcher,
+// charging the service latency for each to the calling thread.
+func (d *Dispatcher) rpc(t *sim.Thread, ops int64) {
+	d.mu.Lock(t)
+	if dur := sim.Duration(ops * int64(d.latency)); dur > 0 {
+		t.Sleep(dur)
+		d.stats.BusyNs += int64(dur)
+	}
+	d.mu.Unlock(t)
+}
+
+// register admits one job and grants its shard leases (one RPC for the
+// registration plus one per lease).
+func (d *Dispatcher) register(t *sim.Thread, leases int) {
+	d.rpc(t, 1+int64(leases))
+	d.stats.Registers++
+	d.stats.Leases += int64(leases)
+	d.active++
+	if d.active > d.stats.PeakJobs {
+		d.stats.PeakJobs = d.active
+	}
+}
+
+// unregister releases the job's leases and retires it.
+func (d *Dispatcher) unregister(t *sim.Thread, leases int) {
+	d.rpc(t, 1+int64(leases))
+	d.stats.Unregisters++
+	d.stats.LeaseReleases += int64(leases)
+	d.active--
+}
+
+// Active returns the number of currently registered jobs.
+func (d *Dispatcher) Active() int { return d.active }
+
+// Stats returns a copy of the control-plane counters.
+func (d *Dispatcher) Stats() DispatcherStats { return d.stats }

@@ -1,0 +1,562 @@
+// Package dataservice implements a simulated tf.data service — the
+// disaggregated input pipeline of "tf.data: A Machine Learning Data
+// Processing Framework" (PAPERS.md): instead of every trainer running its
+// own input pipeline, a dispatcher registers N concurrent training jobs
+// and leases per-job shards to a fleet of data-worker processes that
+// read, decode and batch on the jobs' behalf over the shared Lustre
+// cluster. Trainers become thin consumers pulling ready batches from the
+// workers over the modeled interconnect.
+//
+// Workers are sim-thread groups on dedicated cluster nodes
+// (platform.Cluster nodes with preloaded Darshan runtimes), so all
+// service I/O lands in per-worker Darshan logs and on the merged DXT
+// timeline like any training rank's. A shared cache tier built on
+// vfs.NodeCache (whole-file copies on each worker's NVMe, peer-served
+// over the interconnect) collapses overlapping reads — shared validation
+// sets, multi-tenant jobs over one dataset — onto a single PFS fetch:
+// concurrent requests for a file join the fetch already in flight instead
+// of issuing their own.
+//
+// The saturable resources are explicit: the PFS (OSS bandwidth), the
+// shared MDS, the cache tier's NVMe devices, and the dispatcher's
+// serialized control plane. Ramping simultaneous jobs against a fixed
+// fleet finds which knees first — the experiment the dataservice
+// registry artifact runs.
+package dataservice
+
+import (
+	"fmt"
+
+	"repro/internal/darshan"
+	"repro/internal/distributed"
+	"repro/internal/platform"
+	"repro/internal/sim"
+	"repro/internal/storage"
+	"repro/internal/tf"
+	"repro/internal/tf/tfdata"
+	"repro/internal/vfs"
+)
+
+// Defaults for Config zero fields.
+const (
+	DefaultThreads  = 1
+	DefaultPrefetch = 2
+)
+
+// DefaultDispatcherLatency is the service time of one control-plane RPC
+// (registration, lease grant/release) at the dispatcher.
+var DefaultDispatcherLatency = sim.FromMicros(200)
+
+// DefaultLinkLatency is the per-batch latency of a worker-to-trainer
+// transfer over the interconnect.
+var DefaultLinkLatency = sim.FromMicros(25)
+
+// DefaultPeerLatency is the per-request latency of a peer-cache transfer
+// between workers (one RDMA round trip).
+var DefaultPeerLatency = sim.FromMicros(5)
+
+// Config shapes the service.
+type Config struct {
+	// MapFn is the decode function the workers run per element (required).
+	MapFn tfdata.MapFunc
+	// Threads is the per-(job,worker) map parallelism (0 = DefaultThreads).
+	Threads int
+	// Prefetch is the per-(job,worker) ready-batch buffer depth
+	// (0 = DefaultPrefetch).
+	Prefetch int
+	// CacheBytes enables the shared cache tier: each worker gets a
+	// vfs.NodeCache of this capacity on its NVMe, read-through-filled on
+	// first touch. 0 disables the tier (independent cold pipelines).
+	CacheBytes int64
+	// PeerServing lets one worker's cached copy serve the whole fleet over
+	// the interconnect — the cross-worker half of the shared tier.
+	PeerServing bool
+	// PeerLatency/PeerBandwidth shape peer-cache transfers
+	// (0 = DefaultPeerLatency / distributed.DefaultLinkBandwidth).
+	PeerLatency   sim.Duration
+	PeerBandwidth float64
+	// JobSlots bounds concurrently admitted jobs (each job occupies one
+	// slot on every worker of the symmetric fleet); a job registering
+	// beyond the bound queues at the dispatcher until a slot frees.
+	// 0 = unlimited.
+	JobSlots int
+	// DispatcherLatency is the per-RPC control-plane service time
+	// (0 = DefaultDispatcherLatency).
+	DispatcherLatency sim.Duration
+	// LinkLatency/LinkBandwidth shape worker-to-trainer batch transfers
+	// (0 = DefaultLinkLatency / distributed.DefaultLinkBandwidth).
+	LinkLatency   sim.Duration
+	LinkBandwidth float64
+}
+
+func (c Config) withDefaults() Config {
+	if c.Threads <= 0 {
+		c.Threads = DefaultThreads
+	}
+	if c.Prefetch <= 0 {
+		c.Prefetch = DefaultPrefetch
+	}
+	if c.PeerLatency <= 0 {
+		c.PeerLatency = DefaultPeerLatency
+	}
+	if c.PeerBandwidth == 0 {
+		c.PeerBandwidth = distributed.DefaultLinkBandwidth
+	}
+	if c.DispatcherLatency <= 0 {
+		c.DispatcherLatency = DefaultDispatcherLatency
+	}
+	if c.LinkLatency <= 0 {
+		c.LinkLatency = DefaultLinkLatency
+	}
+	if c.LinkBandwidth == 0 {
+		c.LinkBandwidth = distributed.DefaultLinkBandwidth
+	}
+	return c
+}
+
+// JobSpec describes one training job the dispatcher admits.
+type JobSpec struct {
+	// Name labels the job's threads and results.
+	Name string
+	// Paths is the job's epoch file list (pre-shuffle order). Jobs sharing
+	// a dataset pass the same list — the overlap the cache tier collapses.
+	Paths []string
+	// Shuffle seeds the job's epoch order; independent jobs shuffle the
+	// shared list independently, like separate trainers would.
+	Shuffle int64
+	// Batch is the job's batch size.
+	Batch int
+}
+
+// JobResult is one job's outcome.
+type JobResult struct {
+	Name    string
+	Workers int
+	// ShardFiles is the files leased per worker, worker order.
+	ShardFiles []int
+	// ExpectedBatches is the delivery count the leases imply
+	// (tfdata.BatchCount per worker shard) — Batches must equal it for a
+	// job that ran its epoch to completion.
+	ExpectedBatches int64
+	Batches         int64
+	Samples         int64
+	Bytes           int64
+	// ColdBytes is the job's epoch read volume with no sharing at all
+	// (sum of its files' sizes) — the dedup invariant's per-job term.
+	ColdBytes int64
+	// AdmitNs is the time the job queued for an admission slot.
+	AdmitNs int64
+	// WaitNs is the consumer's time blocked waiting on workers.
+	WaitNs int64
+	// StartNs/EndNs bracket the job from lease grant to last batch.
+	StartNs, EndNs int64
+	// Drained reports the job cancelled its epoch mid-stream.
+	Drained bool
+}
+
+// Service is the data service: a dispatcher plus a worker fleet over one
+// platform.Cluster. Every cluster node hosts one data worker.
+type Service struct {
+	cluster *platform.Cluster
+	cfg     Config
+	disp    *Dispatcher
+	// slots is the admission bound (nil = unlimited).
+	slots *sim.Semaphore
+	// caches is the shared tier, one cache per worker (nil when disabled).
+	caches []*vfs.NodeCache
+	// inflight collapses concurrent cache fills of the same file onto one
+	// fetch: waiters block on the gate, then re-check residency.
+	inflight map[string]*sim.Chan[struct{}]
+	jobs     int
+}
+
+// New builds a service over the cluster's nodes. Call before the kernel
+// runs (cache enablement is setup-time).
+func New(c *platform.Cluster, cfg Config) (*Service, error) {
+	if len(c.Nodes) == 0 {
+		return nil, fmt.Errorf("dataservice: cluster has no nodes")
+	}
+	if cfg.MapFn == nil {
+		return nil, fmt.Errorf("dataservice: Config.MapFn is required")
+	}
+	cfg = cfg.withDefaults()
+	s := &Service{
+		cluster:  c,
+		cfg:      cfg,
+		disp:     newDispatcher(cfg.DispatcherLatency),
+		inflight: make(map[string]*sim.Chan[struct{}]),
+	}
+	if cfg.JobSlots > 0 {
+		s.slots = sim.NewSemaphore(cfg.JobSlots)
+	}
+	if cfg.CacheBytes > 0 {
+		for _, n := range c.Nodes {
+			s.caches = append(s.caches, c.FS.EnableNodeCache(n.Node, vfs.NodeCacheConfig{
+				Capacity:      cfg.CacheBytes,
+				Device:        n.Optane,
+				PeerServing:   cfg.PeerServing,
+				PeerLatency:   cfg.PeerLatency,
+				PeerBandwidth: cfg.PeerBandwidth,
+			}))
+		}
+	}
+	return s, nil
+}
+
+// Workers returns the fleet size.
+func (s *Service) Workers() int { return len(s.cluster.Nodes) }
+
+// Dispatcher returns the control plane (for stats).
+func (s *Service) Dispatcher() *Dispatcher { return s.disp }
+
+// CacheStats returns per-worker cache counters (nil when the tier is off).
+func (s *Service) CacheStats() []vfs.NodeCacheStats {
+	if s.caches == nil {
+		return nil
+	}
+	out := make([]vfs.NodeCacheStats, len(s.caches))
+	for i, c := range s.caches {
+		out[i] = c.Stats()
+	}
+	return out
+}
+
+// Job is one registered job's consumer handle.
+type Job struct {
+	svc       *Service
+	spec      JobSpec
+	res       JobResult
+	chans     []*sim.Chan[tfdata.Batch]
+	closed    []bool
+	rr        int
+	cancelled bool
+}
+
+// Register admits a job: it queues for an admission slot if the fleet is
+// saturated, then the dispatcher grants one shard lease per worker (the
+// job's epoch order sharded across the symmetric fleet) and each worker
+// spawns a serving pipeline for the job. Returns the consumer handle the
+// trainer pulls batches from.
+func (s *Service) Register(t *sim.Thread, spec JobSpec) (*Job, error) {
+	if spec.Batch < 1 {
+		return nil, fmt.Errorf("dataservice: job %q: invalid batch %d", spec.Name, spec.Batch)
+	}
+	if len(spec.Paths) == 0 {
+		return nil, fmt.Errorf("dataservice: job %q: empty dataset", spec.Name)
+	}
+	j := &Job{svc: s, spec: spec}
+	j.res.Name = spec.Name
+	admitStart := t.Now()
+	if s.slots != nil {
+		s.slots.Acquire(t, 1)
+	}
+	j.res.AdmitNs = t.Now() - admitStart
+
+	w := s.Workers()
+	leases := make([][]string, w)
+	for i := 0; i < w; i++ {
+		leases[i] = distributed.ShardPaths(spec.Paths, spec.Shuffle, w, i)
+	}
+	s.disp.register(t, w)
+	s.jobs++
+	j.res.Workers = w
+	j.res.StartNs = t.Now()
+	for _, p := range spec.Paths {
+		if ino, ok := s.cluster.FS.Lookup(p); ok {
+			j.res.ColdBytes += ino.Size
+		}
+	}
+	j.chans = make([]*sim.Chan[tfdata.Batch], w)
+	j.closed = make([]bool, w)
+	for i := 0; i < w; i++ {
+		j.res.ShardFiles = append(j.res.ShardFiles, len(leases[i]))
+		j.res.ExpectedBatches += int64(tfdata.BatchCount(len(leases[i]), spec.Batch))
+		j.chans[i] = sim.NewChan[tfdata.Batch](1)
+		if len(leases[i]) == 0 {
+			j.chans[i].Close(t)
+			j.closed[i] = true
+			continue
+		}
+		s.spawnServer(j, i, leases[i])
+	}
+	return j, nil
+}
+
+// spawnServer starts worker w's serving pipeline for the job: a tfdata
+// pipeline on the worker's env (its I/O lands in the worker's Darshan
+// runtime) whose batches are pumped into the job's per-worker channel.
+func (s *Service) spawnServer(j *Job, w int, lease []string) {
+	name := fmt.Sprintf("dsworker%d.%s", w, j.spec.Name)
+	s.cluster.K.Spawn(name, func(t *sim.Thread) {
+		env := s.cluster.Nodes[w].Env
+		ds := tfdata.FromFiles(env, lease).
+			Map(s.mapFnFor(w), s.cfg.Threads).
+			Batch(j.spec.Batch).
+			Prefetch(s.cfg.Prefetch)
+		it, err := ds.MakeIterator()
+		if err != nil {
+			// Like tfdata's map errors: a configuration mistake, fatal.
+			panic(fmt.Sprintf("dataservice: %s: %v", name, err))
+		}
+		for !j.cancelled {
+			b, ok := it.Next(t)
+			if !ok {
+				break
+			}
+			j.chans[w].Send(t, b)
+		}
+		it.Close(t)
+		j.chans[w].Close(t)
+	})
+}
+
+// mapFnFor wraps the decode function with the shared tier's read-through
+// fill for worker w; without a cache tier the decode runs cold.
+func (s *Service) mapFnFor(w int) tfdata.MapFunc {
+	if s.caches == nil {
+		return s.cfg.MapFn
+	}
+	return func(t *sim.Thread, env *tf.Env, path string) (tfdata.Sample, error) {
+		s.ensureCached(t, w, path)
+		return s.cfg.MapFn(t, env, path)
+	}
+}
+
+// gateKey scopes the in-flight fetch gate: with peer serving one fetch
+// serves the fleet, so gates are per file; without it each worker fills
+// its own cache, so gates are per (worker, file).
+func (s *Service) gateKey(w int, p string) string {
+	if s.cfg.PeerServing {
+		return p
+	}
+	return fmt.Sprintf("%d:%s", w, p)
+}
+
+// ensureCached is the shared tier's read-through: before decoding a file,
+// a worker makes sure a whole-file copy is resident where its read can be
+// served from (its own cache, or any peer's under peer serving).
+// Concurrent requests for the same file collapse onto the fetch already
+// in flight — the dedup that makes overlapping jobs hit the PFS once.
+// Fetch failures (no space after eviction, injected transient faults)
+// degrade to a cold PFS read: the tier accelerates, it is never a
+// correctness dependency.
+func (s *Service) ensureCached(t *sim.Thread, w int, p string) {
+	c := s.caches[w]
+	for {
+		if c.Contains(p) || (s.cfg.PeerServing && c.PeerHas(p)) {
+			return
+		}
+		key := s.gateKey(w, p)
+		if gate, ok := s.inflight[key]; ok {
+			gate.Recv(t) // join the fetch in flight, then re-check
+			continue
+		}
+		gate := sim.NewChan[struct{}](0)
+		s.inflight[key] = gate
+		_, err := c.Fetch(t, p)
+		delete(s.inflight, key)
+		gate.Close(t)
+		_ = err // degraded to a cold read below the cache
+		return
+	}
+}
+
+// transfer charges the interconnect cost of moving one batch from a
+// worker to the trainer.
+func (j *Job) transfer(t *sim.Thread, n int64) {
+	d := j.svc.cfg.LinkLatency
+	if j.svc.cfg.LinkBandwidth > 0 && n > 0 {
+		d += sim.FromSeconds(float64(n) / j.svc.cfg.LinkBandwidth)
+	}
+	if d > 0 {
+		t.Sleep(d)
+	}
+}
+
+// Next delivers the job's next batch, pulling round-robin across the
+// workers still serving and paying the interconnect transfer. ok is false
+// once every worker's shard is exhausted.
+func (j *Job) Next(t *sim.Thread) (tfdata.Batch, bool) {
+	w := len(j.chans)
+	for {
+		progressed := false
+		for i := 0; i < w; i++ {
+			c := (j.rr + i) % w
+			if j.closed[c] {
+				continue
+			}
+			progressed = true
+			start := t.Now()
+			b, ok := j.chans[c].Recv(t)
+			j.res.WaitNs += t.Now() - start
+			if !ok {
+				j.closed[c] = true
+				continue
+			}
+			j.rr = (c + 1) % w
+			j.transfer(t, b.Bytes)
+			j.res.Batches++
+			j.res.Samples += int64(len(b.Samples))
+			j.res.Bytes += b.Bytes
+			return b, true
+		}
+		if !progressed {
+			if j.res.EndNs == 0 {
+				j.res.EndNs = t.Now()
+			}
+			return tfdata.Batch{}, false
+		}
+	}
+}
+
+// Drain cancels the job's remaining epoch mid-stream: serving pipelines
+// shut down after their in-flight element and everything still queued is
+// discarded. Next returns false afterwards; Unregister still releases the
+// leases and slot.
+func (j *Job) Drain(t *sim.Thread) {
+	if j.cancelled {
+		return
+	}
+	j.cancelled = true
+	j.res.Drained = true
+	for w := range j.chans {
+		for !j.closed[w] {
+			if _, ok := j.chans[w].Recv(t); !ok {
+				j.closed[w] = true
+			}
+		}
+	}
+	if j.res.EndNs == 0 {
+		j.res.EndNs = t.Now()
+	}
+}
+
+// done reports every serving channel closed.
+func (j *Job) done() bool {
+	for _, c := range j.closed {
+		if !c {
+			return false
+		}
+	}
+	return true
+}
+
+// Result returns the job's outcome so far.
+func (j *Job) Result() JobResult { return j.res }
+
+// Unregister releases the job's shard leases and its admission slot. A
+// job abandoned mid-epoch is drained first — leaving serving threads
+// parked on a dead job would wedge the kernel at shutdown.
+func (s *Service) Unregister(t *sim.Thread, j *Job) {
+	if !j.done() {
+		j.Drain(t)
+	}
+	s.disp.unregister(t, j.res.Workers)
+	if s.slots != nil {
+		s.slots.Release(t, 1)
+	}
+	if j.res.EndNs == 0 {
+		j.res.EndNs = t.Now()
+	}
+}
+
+// Result is a completed service run over a job set.
+type Result struct {
+	// Jobs holds one entry per submitted job, in submission order.
+	Jobs []JobResult
+	// Dispatcher is the control plane's final counters.
+	Dispatcher DispatcherStats
+	// WallSeconds is the virtual duration of the whole run.
+	WallSeconds float64
+	// PFSBytesRead/PFSMetaOps/PFSBusy are the shared Lustre device's
+	// deltas over the run — what the fleet actually asked of the PFS.
+	PFSBytesRead int64
+	PFSMetaOps   int64
+	PFSBusy      sim.Duration
+	// CacheStats/CacheBusy are the per-worker cache tier counters and
+	// NVMe busy-time deltas (nil/zero when the tier is off).
+	CacheStats []vfs.NodeCacheStats
+	CacheBusy  []sim.Duration
+	// PerWorker is each worker's Darshan record set exported at run end;
+	// Merged is their cross-worker reduction (counters + DXT timeline).
+	PerWorker []*darshan.Snapshot
+	Merged    *darshan.MergedLog
+}
+
+// TotalColdBytes sums the jobs' no-sharing read volumes — the bound the
+// dedup invariant compares PFSBytesRead against.
+func (r *Result) TotalColdBytes() int64 {
+	var n int64
+	for _, j := range r.Jobs {
+		n += j.ColdBytes
+	}
+	return n
+}
+
+// Run executes jobs against a fresh service on the cluster: every job
+// gets a trainer (consumer) thread that registers, pulls its whole epoch
+// and unregisters; the kernel runs to completion and the per-worker
+// Darshan runtimes are exported and merged. The cluster must have been
+// booted with PreloadDarshan for the export to capture service I/O.
+func Run(c *platform.Cluster, jobs []JobSpec, cfg Config) (*Result, error) {
+	svc, err := New(c, cfg)
+	if err != nil {
+		return nil, err
+	}
+	startNs := c.K.Now()
+	lustreBefore := c.Lustre.Counters()
+	nvmeBefore := make([]storage.Counters, len(c.Nodes))
+	for i, n := range c.Nodes {
+		nvmeBefore[i] = n.Optane.Counters()
+	}
+
+	results := make([]JobResult, len(jobs))
+	errs := make([]error, len(jobs))
+	for i := range jobs {
+		i := i
+		spec := jobs[i]
+		c.K.Spawn(fmt.Sprintf("trainer.%s", spec.Name), func(t *sim.Thread) {
+			jb, err := svc.Register(t, spec)
+			if err != nil {
+				errs[i] = err
+				return
+			}
+			for {
+				if _, ok := jb.Next(t); !ok {
+					break
+				}
+			}
+			svc.Unregister(t, jb)
+			results[i] = jb.Result()
+		})
+	}
+	if err := c.K.Run(); err != nil {
+		c.K.Shutdown()
+		return nil, err
+	}
+	for _, e := range errs {
+		if e != nil {
+			return nil, e
+		}
+	}
+
+	res := &Result{
+		Jobs:        results,
+		Dispatcher:  svc.disp.Stats(),
+		WallSeconds: sim.Seconds(c.K.Now() - startNs),
+		CacheStats:  svc.CacheStats(),
+	}
+	lustreAfter := c.Lustre.Counters().Sub(lustreBefore)
+	res.PFSBytesRead = lustreAfter.BytesRead
+	res.PFSMetaOps = lustreAfter.MetaOps
+	res.PFSBusy = lustreAfter.BusyTime
+	for i, n := range c.Nodes {
+		res.CacheBusy = append(res.CacheBusy, n.Optane.Counters().Sub(nvmeBefore[i]).BusyTime)
+	}
+	now := c.K.Now()
+	for _, rt := range c.Runtimes() {
+		res.PerWorker = append(res.PerWorker, rt.Export(now))
+	}
+	res.Merged = darshan.Merge(res.PerWorker)
+	return res, nil
+}

@@ -1,0 +1,238 @@
+package dataservice
+
+import (
+	"fmt"
+	"reflect"
+	"testing"
+
+	"repro/internal/darshan"
+	"repro/internal/platform"
+	"repro/internal/sim"
+	"repro/internal/workload"
+)
+
+const testSeed = 20200812
+
+// serviceFixture boots a worker fleet with preloaded Darshan and creates
+// nFiles equal-size files on the shared Lustre mount.
+func serviceFixture(t *testing.T, workers, nFiles int, fileSize int64) (*platform.Cluster, []string) {
+	t.Helper()
+	c := platform.NewKebnekaiseCluster(workers, platform.Options{PreloadDarshan: true})
+	paths := make([]string, nFiles)
+	for i := range paths {
+		paths[i] = fmt.Sprintf("%s/dsvc/f%04d.jpg", platform.KebnekaiseLustre, i)
+		if _, err := c.FS.CreateFile(paths[i], fileSize); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return c, paths
+}
+
+// TestServiceEpochExact: independent jobs (no cache tier) each receive
+// exactly the batches their leases imply, every sample exactly once, and
+// the fleet's PFS traffic is jobs x corpus — plus the whole run is
+// deterministic and the workers' I/O lands in the merged Darshan log.
+func TestServiceEpochExact(t *testing.T) {
+	const workers, nFiles, jobs = 2, 24, 3
+	const fileSize = int64(96 << 10)
+	run := func() *Result {
+		c, paths := serviceFixture(t, workers, nFiles, fileSize)
+		specs := make([]JobSpec, jobs)
+		for i := range specs {
+			specs[i] = JobSpec{
+				Name: fmt.Sprintf("job%d", i), Paths: paths,
+				Shuffle: testSeed + int64(i), Batch: 5,
+			}
+		}
+		res, err := Run(c, specs, Config{MapFn: workload.ImageNetMap, Threads: 2})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	res := run()
+	for _, j := range res.Jobs {
+		if j.Batches != j.ExpectedBatches || j.Batches == 0 {
+			t.Fatalf("%s: delivered %d batches, leases imply %d", j.Name, j.Batches, j.ExpectedBatches)
+		}
+		if j.Samples != nFiles {
+			t.Fatalf("%s: delivered %d samples, want every file once (%d)", j.Name, j.Samples, nFiles)
+		}
+		if j.ColdBytes != int64(nFiles)*fileSize || j.Bytes != j.ColdBytes {
+			t.Fatalf("%s: bytes %d / cold %d, want both %d", j.Name, j.Bytes, j.ColdBytes, int64(nFiles)*fileSize)
+		}
+		if j.AdmitNs != 0 {
+			t.Fatalf("%s: queued %dns for admission with unlimited slots", j.Name, j.AdmitNs)
+		}
+	}
+	// No sharing: every job reads the corpus cold off the PFS.
+	if want := int64(jobs) * int64(nFiles) * fileSize; res.PFSBytesRead != want {
+		t.Fatalf("PFS read %d bytes, want %d (jobs x corpus)", res.PFSBytesRead, want)
+	}
+	d := res.Dispatcher
+	if d.Registers != jobs || d.Unregisters != jobs || d.PeakJobs != jobs {
+		t.Fatalf("dispatcher saw %d/%d registrations, peak %d, want %d concurrent jobs", d.Registers, d.Unregisters, d.PeakJobs, jobs)
+	}
+	if d.Leases != jobs*workers || d.LeaseReleases != d.Leases {
+		t.Fatalf("leases %d granted / %d released, want %d both", d.Leases, d.LeaseReleases, jobs*workers)
+	}
+	// Service I/O is observable: the workers' Darshan runtimes saw the
+	// fleet's reads, and merging them preserves the total.
+	if len(res.PerWorker) != workers {
+		t.Fatalf("exported %d worker snapshots, want %d", len(res.PerWorker), workers)
+	}
+	if got := res.Merged.TotalPosix(darshan.POSIX_BYTES_READ); got != res.PFSBytesRead {
+		t.Fatalf("merged Darshan bytes %d != PFS bytes %d", got, res.PFSBytesRead)
+	}
+	res2 := run()
+	if res.WallSeconds != res2.WallSeconds || !reflect.DeepEqual(res.Jobs, res2.Jobs) {
+		t.Fatal("identical runs diverged")
+	}
+}
+
+// TestServiceAdmissionAfterSaturation: with one admission slot, a job
+// registering after the fleet is saturated queues at the dispatcher
+// (AdmitNs > 0), is admitted once the running job unregisters, and still
+// completes its epoch exactly.
+func TestServiceAdmissionAfterSaturation(t *testing.T) {
+	const workers, nFiles = 2, 16
+	const fileSize = int64(64 << 10)
+	c, paths := serviceFixture(t, workers, nFiles, fileSize)
+	specs := []JobSpec{
+		{Name: "first", Paths: paths, Shuffle: testSeed, Batch: 4},
+		{Name: "second", Paths: paths, Shuffle: testSeed + 1, Batch: 4},
+	}
+	res, err := Run(c, specs, Config{MapFn: workload.ImageNetMap, JobSlots: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	first, second := res.Jobs[0], res.Jobs[1]
+	if first.AdmitNs != 0 {
+		t.Fatalf("first job queued %dns with a free slot", first.AdmitNs)
+	}
+	if second.AdmitNs == 0 {
+		t.Fatal("second job admitted instantly past a saturated fleet")
+	}
+	if second.StartNs < first.EndNs {
+		t.Fatalf("second job started (%dns) before the first finished (%dns) despite one slot", second.StartNs, first.EndNs)
+	}
+	for _, j := range res.Jobs {
+		if j.Batches != j.ExpectedBatches || j.Samples != nFiles {
+			t.Fatalf("%s: %d/%d batches, %d samples — queued job lost data", j.Name, j.Batches, j.ExpectedBatches, j.Samples)
+		}
+	}
+	if res.Dispatcher.PeakJobs != 1 {
+		t.Fatalf("dispatcher peak %d jobs, admission bound is 1", res.Dispatcher.PeakJobs)
+	}
+}
+
+// TestServiceDrainMidEpoch: a job abandoning its epoch mid-stream drains
+// cleanly — serving pipelines shut down (the kernel runs to completion),
+// Unregister releases every shard lease and the admission slot, and a
+// follow-up job admits and runs a full epoch on the freed fleet.
+func TestServiceDrainMidEpoch(t *testing.T) {
+	const workers, nFiles = 2, 20
+	const fileSize = int64(64 << 10)
+	c, paths := serviceFixture(t, workers, nFiles, fileSize)
+	svc, err := New(c, Config{MapFn: workload.ImageNetMap, JobSlots: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var drained, follow JobResult
+	c.K.Spawn("driver", func(th *sim.Thread) {
+		j, err := svc.Register(th, JobSpec{Name: "quitter", Paths: paths, Shuffle: testSeed, Batch: 4})
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		for i := 0; i < 2; i++ {
+			if _, ok := j.Next(th); !ok {
+				t.Error("epoch ended before the drain point")
+			}
+		}
+		j.Drain(th)
+		if _, ok := j.Next(th); ok {
+			t.Error("Next delivered a batch after Drain")
+		}
+		svc.Unregister(th, j)
+		drained = j.Result()
+		// The slot and leases are free again: with JobSlots=1 this second
+		// registration would park forever if Unregister leaked them.
+		j2, err := svc.Register(th, JobSpec{Name: "follow", Paths: paths, Shuffle: testSeed + 1, Batch: 4})
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		for {
+			if _, ok := j2.Next(th); !ok {
+				break
+			}
+		}
+		svc.Unregister(th, j2)
+		follow = j2.Result()
+	})
+	if err := c.K.Run(); err != nil {
+		t.Fatalf("kernel did not drain after mid-epoch unregister: %v", err)
+	}
+	if !drained.Drained || drained.Batches != 2 || drained.Batches >= drained.ExpectedBatches {
+		t.Fatalf("drained job: %+v — want 2 of %d batches and Drained", drained, drained.ExpectedBatches)
+	}
+	if follow.Drained || follow.Batches != follow.ExpectedBatches || follow.Samples != nFiles {
+		t.Fatalf("follow-up job did not run a clean full epoch: %+v", follow)
+	}
+	d := svc.Dispatcher().Stats()
+	if d.LeaseReleases != 2*workers || svc.Dispatcher().Active() != 0 {
+		t.Fatalf("leases not released at unregister: %+v, %d active", d, svc.Dispatcher().Active())
+	}
+}
+
+// TestServiceSharedDatasetDedup: two jobs over the same dataset through
+// the peer-served cache tier hit the PFS byte-exactly once — total PFS
+// reads equal the corpus, half the cold volume — and finish faster than
+// the same pair running independent cold pipelines.
+func TestServiceSharedDatasetDedup(t *testing.T) {
+	const workers, nFiles = 2, 24
+	const fileSize = int64(96 << 10)
+	corpus := int64(nFiles) * fileSize
+	run := func(cfg Config) *Result {
+		c, paths := serviceFixture(t, workers, nFiles, fileSize)
+		cfg.MapFn = workload.ImageNetMap
+		res, err := Run(c, []JobSpec{
+			{Name: "a", Paths: paths, Shuffle: testSeed, Batch: 4},
+			{Name: "b", Paths: paths, Shuffle: testSeed + 7, Batch: 4},
+		}, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	shared := run(Config{CacheBytes: 2 * corpus, PeerServing: true})
+	cold := run(Config{})
+	for _, j := range shared.Jobs {
+		if j.Batches != j.ExpectedBatches || j.Bytes != corpus {
+			t.Fatalf("%s: %d/%d batches, %d bytes — sharing altered delivery", j.Name, j.Batches, j.ExpectedBatches, j.Bytes)
+		}
+	}
+	// Byte-exact dedup: every file fetched from the PFS exactly once for
+	// the whole fleet, no matter that both jobs read all of it.
+	if shared.PFSBytesRead != corpus {
+		t.Fatalf("shared tier read %d bytes off the PFS, want exactly the corpus %d", shared.PFSBytesRead, corpus)
+	}
+	if want := 2 * corpus; cold.PFSBytesRead != want {
+		t.Fatalf("independent pipelines read %d bytes, want %d", cold.PFSBytesRead, want)
+	}
+	if got, want := shared.TotalColdBytes(), 2*corpus; got != want {
+		t.Fatalf("TotalColdBytes %d, want %d", got, want)
+	}
+	if shared.WallSeconds >= cold.WallSeconds {
+		t.Fatalf("shared tier not faster: %.3fs vs %.3fs cold", shared.WallSeconds, cold.WallSeconds)
+	}
+	var local, peer int64
+	for _, cs := range shared.CacheStats {
+		local += cs.LocalHits
+		peer += cs.PeerHits
+	}
+	if local == 0 || peer == 0 {
+		t.Fatalf("cache tier idle: %d local / %d peer hits", local, peer)
+	}
+}

@@ -114,6 +114,7 @@ func All() []Runner {
 		{"prefetch", "clairvoyant per-epoch prefetching over node NVMe caches", func(c Config) (Result, error) { return PrefetchExperiment(c) }},
 		{"failover", "mid-epoch rank death, checkpoint rollback and restore read burst", func(c Config) (Result, error) { return FailoverExperiment(c) }},
 		{"elastic", "elastic continue-on-failure vs rollback under a transient-fault ladder", func(c Config) (Result, error) { return ElasticExperiment(c) }},
+		{"dataservice", "disaggregated tf.data service: concurrent-job ramp over a worker fleet", func(c Config) (Result, error) { return DataServiceExperiment(c) }},
 	}
 }
 

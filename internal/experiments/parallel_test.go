@@ -60,6 +60,18 @@ func TestParallelFailoverDeterminism(t *testing.T) {
 	}
 }
 
+// TestParallelDataServiceDeterminism asserts the data service sweep
+// points (each fleet x job-ramp rung its own cluster and kernel, plus the
+// per-fleet no-service baselines) are byte-identical run concurrently vs
+// serially.
+func TestParallelDataServiceDeterminism(t *testing.T) {
+	serial := renderAll(t, Config{Scale: 0.02, Parallel: 1}, []string{"dataservice"})
+	parallel := renderAll(t, Config{Scale: 0.02, Parallel: 4}, []string{"dataservice"})
+	if serial != parallel {
+		t.Fatalf("parallel data service sweep diverged from serial\n--- serial ---\n%s\n--- parallel ---\n%s", serial, parallel)
+	}
+}
+
 // TestRunAllUnknownArtifact verifies RunAll fails fast on an unknown id
 // before launching anything.
 func TestRunAllUnknownArtifact(t *testing.T) {

@@ -65,6 +65,11 @@ func NewLustre(name string, p LustreParams) *Lustre {
 // Name implements Device.
 func (d *Lustre) Name() string { return d.name }
 
+// Params returns the configured parameters — the service capacities
+// (OSS bandwidth, MDS latency and concurrency) that experiment-side
+// utilization computations divide observed traffic by.
+func (d *Lustre) Params() LustreParams { return d.p }
+
 // Capacity implements Device.
 func (d *Lustre) Capacity() int64 { return d.p.Capacity }
 

@@ -40,8 +40,10 @@ func retryMix(x uint64) uint64 {
 }
 
 // Backoff returns the sleep before reissue number attempt (1-based) of
-// operation op: BaseBackoff·2^(attempt-1), capped at MaxBackoff, scaled
-// by a deterministic jitter in [0.5, 1.5) seeded from (Seed, op, attempt).
+// operation op: BaseBackoff·2^(attempt-1) scaled by a deterministic jitter
+// in [0.5, 1.5) seeded from (Seed, op, attempt). MaxBackoff is a hard cap
+// on the returned sleep: the jittered value is clamped too, so no roll can
+// exceed the documented bound.
 func (p RetryPolicy) Backoff(op int64, attempt int) sim.Duration {
 	if p.BaseBackoff <= 0 || attempt < 1 {
 		return 0
@@ -54,12 +56,13 @@ func (p RetryPolicy) Backoff(op int64, attempt int) sim.Duration {
 			break
 		}
 	}
-	if p.MaxBackoff > 0 && d > p.MaxBackoff {
-		d = p.MaxBackoff
-	}
 	h := retryMix(uint64(p.Seed) ^ uint64(op)<<20 ^ uint64(attempt))
 	jitter := 0.5 + float64(h>>11)/float64(1<<53)
-	return sim.Duration(float64(d) * jitter)
+	out := sim.Duration(float64(d) * jitter)
+	if p.MaxBackoff > 0 && out > p.MaxBackoff {
+		out = p.MaxBackoff
+	}
+	return out
 }
 
 // RetryStats tallies retry-policy activity.

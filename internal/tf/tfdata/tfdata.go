@@ -102,6 +102,21 @@ func ShardLen(n, numShards, index int) int {
 	return (n - index + numShards - 1) / numShards
 }
 
+// BatchCount returns the number of batches Batch(batch) yields over n
+// elements: full batches plus the final partial one, matching the
+// batcher's flush. Drivers use it to size expected deliveries without
+// building the dataset. An invalid batch size panics, like Batch would at
+// iterator time.
+func BatchCount(n, batch int) int {
+	if batch < 1 {
+		panic(fmt.Sprintf("tfdata: invalid batch %d", batch))
+	}
+	if n <= 0 {
+		return 0
+	}
+	return (n + batch - 1) / batch
+}
+
 // Shard keeps every numShards-th element starting at index — tf.data's
 // Dataset.shard(num_shards, index) semantics: element i survives iff
 // i % numShards == index. Data-parallel ranks shard the same shuffled

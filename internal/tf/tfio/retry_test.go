@@ -116,6 +116,20 @@ func TestRetryBackoffDeterminism(t *testing.T) {
 	if s1.BackoffNs == s3.BackoffNs && s1.Faults > 1 {
 		t.Logf("note: seeds 7 and 8 produced identical backoff (%d ns); jitter may be degenerate", s1.BackoffNs)
 	}
+	// The documented cap is hard: no (op, attempt, seed) jitter roll may
+	// push a single sleep past MaxBackoff. (The jitter used to be applied
+	// after the clamp, overshooting by up to 50% on deep attempts.)
+	for seed := int64(0); seed < 8; seed++ {
+		pol := retryPolicy(seed)
+		for op := int64(0); op < 64; op++ {
+			for attempt := 1; attempt <= 12; attempt++ {
+				if d := pol.Backoff(op, attempt); d > pol.MaxBackoff {
+					t.Fatalf("Backoff(op=%d, attempt=%d) with seed %d = %v exceeds MaxBackoff %v",
+						op, attempt, seed, d, pol.MaxBackoff)
+				}
+			}
+		}
+	}
 }
 
 // TestRetryRestoreCheckpoint: the buffered STDIO restore path is guarded

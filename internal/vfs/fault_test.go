@@ -58,6 +58,49 @@ func TestFaultReadErrNth(t *testing.T) {
 	}
 }
 
+// TestFaultFullCacheFetchAccounting: a cache fetch doomed to ErrNoSpace
+// never touches the device, so it must neither consume an every-Nth
+// fault-plan slot nor count in FaultStats — the cadence belongs to fetches
+// that actually issue reads. (The fault used to be rolled before the
+// capacity check, so oversize fetches burned slots and inflated counts.)
+func TestFaultFullCacheFetchAccounting(t *testing.T) {
+	fs, _, caches := nodeCacheFixture(t, 1<<20, false)
+	for _, f := range []struct {
+		path string
+		size int64
+	}{
+		{"/data/big.bin", 2 << 20}, // larger than the cache: every fetch is doomed
+		{"/data/a.bin", 100 << 10},
+		{"/data/b.bin", 100 << 10},
+	} {
+		if _, err := fs.CreateFile(f.path, f.size); err != nil {
+			t.Fatal(err)
+		}
+	}
+	fs.InjectFaults(FaultPlan{ReadErrNth: 2})
+	c := caches[0]
+	runSim(t, func(th *sim.Thread) {
+		// Three doomed fetches: all ErrNoSpace, no cadence slots consumed.
+		for i := 0; i < 3; i++ {
+			if _, err := c.Fetch(th, "/data/big.bin"); !errors.Is(err, ErrNoSpace) {
+				t.Fatalf("oversize fetch %d: err = %v, want ErrNoSpace", i, err)
+			}
+		}
+		// The eligible fetches start the cadence fresh: slot 1 succeeds,
+		// slot 2 faults.
+		if _, err := c.Fetch(th, "/data/a.bin"); err != nil {
+			t.Fatalf("first eligible fetch: err = %v, want nil (cadence slot 1)", err)
+		}
+		if _, err := c.Fetch(th, "/data/b.bin"); !errors.Is(err, ErrIO) {
+			t.Fatalf("second eligible fetch: err = %v, want ErrIO (cadence slot 2)", err)
+		}
+	})
+	s := fs.FaultStatsAt(0)
+	if s.FetchFaults != 1 || s.ReadFaults != 0 {
+		t.Fatalf("fault stats = %+v, want exactly one fetch fault and no read faults", s)
+	}
+}
+
 // TestFaultMDSBrownout: metadata ops inside a brownout window are
 // stretched by the window factor and counted.
 func TestFaultMDSBrownout(t *testing.T) {

@@ -209,7 +209,9 @@ func (c *NodeCache) evictFor(need int64) bool {
 // unknown path, ErrNoSpace when the file does not fit even after eviction
 // (the file is then left uncached, resident entries untouched), and ErrIO
 // for an injected transient read fault (retryable — the source was never
-// read).
+// read). Capacity is checked before the fault roll: a fetch doomed to
+// ErrNoSpace never reaches the device, so it must not consume an
+// every-Nth fault-plan slot or count in FaultStats.
 func (c *NodeCache) Fetch(t *sim.Thread, p string) (int64, error) {
 	ino, ok := c.fs.inodes[path.Clean(p)]
 	if !ok {
@@ -220,11 +222,11 @@ func (c *NodeCache) Fetch(t *sim.Thread, p string) (int64, error) {
 		c.touch(e)
 		return 0, nil
 	}
-	if err := c.fs.dataReadFault(c.node, true); err != nil {
-		return 0, err
-	}
 	if !c.evictFor(ino.Size) {
 		return 0, ErrNoSpace
+	}
+	if err := c.fs.dataReadFault(c.node, true); err != nil {
+		return 0, err
 	}
 	if ino.Size > 0 {
 		c.fs.chargePFSRead(t, c.node, ino, 0, ino.Size)

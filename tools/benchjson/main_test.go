@@ -91,6 +91,23 @@ func TestParseBenchLine(t *testing.T) {
 			ok: true,
 		},
 		{
+			// The data service experiment's headline metrics must survive
+			// the parse so the BENCH_<n>.json snapshots track the jobs-ramp
+			// knee and the shared-tier dedup ratio per commit.
+			name: "dataservice line with knee and dedup metrics",
+			line: "BenchmarkDataService-8   1   1023456789 ns/op   64.000 dataservice_jobs_knee   201.355 dataservice_dedup_ratio   1.842 dataservice_speedup_vs_independent_x   0.412 fleet8_jobs256_pfs_util",
+			want: Benchmark{
+				Name: "DataService", Iterations: 1, NsPerOp: 1023456789,
+				Metrics: map[string]float64{
+					"dataservice_jobs_knee":                64.000,
+					"dataservice_dedup_ratio":              201.355,
+					"dataservice_speedup_vs_independent_x": 1.842,
+					"fleet8_jobs256_pfs_util":              0.412,
+				},
+			},
+			ok: true,
+		},
+		{
 			name: "serial procs suffix absent",
 			line: "BenchmarkRanksScaling   2   1000 ns/op",
 			want: Benchmark{Name: "RanksScaling", Iterations: 2, NsPerOp: 1000},
