@@ -3,10 +3,17 @@ GO ?= go
 BENCH_OUT ?= BENCH_7.json
 BENCH_SCALE ?= 0.2
 
-.PHONY: build test race bench bench-json
+.PHONY: build test race lint bench bench-json
 
 build:
 	$(GO) build ./...
+
+# lint runs simlint (tools/simlint): the five analyzers that machine-check
+# the repo's determinism and kernel-discipline invariants over every
+# production package. Kept separate from `test` so a house-rule violation
+# is distinguishable from a test failure.
+lint:
+	$(GO) run ./tools/simlint ./...
 
 test:
 	$(GO) vet ./...

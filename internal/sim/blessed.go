@@ -1,0 +1,28 @@
+package sim
+
+// BlessedExternalGoroutines is the exhaustive whitelist of places where raw
+// goroutines, native channels and sync primitives are legal. Everywhere
+// else, concurrency must go through the kernel (Kernel.Spawn, Mutex,
+// Semaphore, Barrier, WaitGroup, Chan): a goroutine the kernel cannot see
+// is excluded from deadlock detection, runs outside virtual time, and can
+// race the single-threaded scheduler state.
+//
+// Entries are either a package import path (the whole package is blessed)
+// or an import path plus a file name (only that file is blessed).
+//
+// tools/simlint's kerneldiscipline analyzer imports this variable directly
+// as its configuration, so the whitelist and the code it blesses cannot
+// drift apart: adding a raw goroutine anywhere else fails `make lint`
+// until the site is either ported to the kernel API or added here with a
+// justification.
+var BlessedExternalGoroutines = []string{
+	// The kernel itself: Spawn's goroutine-per-thread multiplexing, the
+	// park/unpark channel handoff and Shutdown's reaper are the one place
+	// native concurrency is the implementation, not an escape hatch.
+	"repro/internal/sim",
+
+	// The parallel experiment harness: a worker pool distributing whole,
+	// self-contained kernel runs across host cores. It never touches a
+	// live kernel's state; serial/parallel byte-identity tests pin that.
+	"repro/internal/experiments/parallel.go",
+}

@@ -1,0 +1,216 @@
+// Package analysis is a self-contained reimplementation of the subset of
+// golang.org/x/tools/go/analysis that simlint needs: Analyzer, Pass,
+// diagnostics, and a runner with //lint:allow suppression. The build
+// environment for this repo is offline (no module proxy, empty module
+// cache), so the canonical x/tools dependency cannot be fetched; the API
+// mirrors it closely enough that swapping back is mechanical if the
+// dependency ever becomes available.
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// DirectiveAnalyzerName attributes diagnostics about //lint:allow
+// directives themselves (malformed, unknown analyzer).
+const DirectiveAnalyzerName = "simlint"
+
+// An Analyzer is one named, documented invariant check.
+type Analyzer struct {
+	// Name identifies the analyzer in output and in //lint:allow
+	// directives. One lower-case word.
+	Name string
+	// Doc is the analyzer's one-paragraph documentation: the invariant
+	// it enforces and why the repo holds it.
+	Doc string
+	// Run applies the analyzer to one package, reporting findings via
+	// pass.Reportf.
+	Run func(*Pass) error
+}
+
+// A Pass presents one type-checked package to one analyzer.
+type Pass struct {
+	Analyzer  *Analyzer
+	Fset      *token.FileSet
+	Files     []*ast.File
+	Pkg       *types.Package
+	TypesInfo *types.Info
+
+	diags *[]Diagnostic
+}
+
+// Reportf records a finding at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	*p.diags = append(*p.diags, Diagnostic{
+		Analyzer: p.Analyzer.Name,
+		Pos:      p.Fset.Position(pos),
+		Message:  fmt.Sprintf(format, args...),
+	})
+}
+
+// A Diagnostic is one finding, resolved to a file position.
+type Diagnostic struct {
+	Analyzer string
+	Pos      token.Position
+	Message  string
+}
+
+// A Runner applies a fixed set of analyzers to loaded packages and
+// filters the findings through //lint:allow directives.
+type Runner struct {
+	Analyzers []*Analyzer
+	// KnownNames lists additional analyzer names that are valid in
+	// //lint:allow directives. When running a subset of a registry, pass
+	// the full registry's names here so existing annotations for the
+	// analyzers not being run are not reported as unknown.
+	KnownNames []string
+}
+
+// directive is one parsed //lint:allow comment.
+type directive struct {
+	pos      token.Position
+	analyzer string
+	reason   string
+	bad      string // non-empty: why the directive is malformed
+}
+
+// parseDirectives extracts lint:allow directives from a file's comments.
+// Both //lint:allow and /*lint:allow*/ forms are recognized; the directive
+// must lead the comment (no space after the comment marker, matching the
+// gofmt convention for machine-readable directives).
+func parseDirectives(fset *token.FileSet, f *ast.File) []directive {
+	var out []directive
+	for _, cg := range f.Comments {
+		for _, c := range cg.List {
+			body := strings.TrimPrefix(c.Text, "//")
+			if strings.HasPrefix(c.Text, "/*") {
+				body = strings.TrimSuffix(strings.TrimPrefix(c.Text, "/*"), "*/")
+			}
+			if !strings.HasPrefix(body, "lint:") {
+				continue
+			}
+			d := directive{pos: fset.Position(c.Pos())}
+			fields := strings.Fields(strings.TrimPrefix(body, "lint:"))
+			if len(fields) == 0 || fields[0] != "allow" {
+				verb := "(none)"
+				if len(fields) > 0 {
+					verb = fields[0]
+				}
+				d.bad = fmt.Sprintf("unknown lint directive %q (only lint:allow is defined)", verb)
+				out = append(out, d)
+				continue
+			}
+			fields = fields[1:]
+			if len(fields) == 0 {
+				d.bad = "missing analyzer name: want //lint:allow <analyzer> <reason>"
+				out = append(out, d)
+				continue
+			}
+			d.analyzer = fields[0]
+			// An analysistest expectation may share the comment; it is
+			// not part of the reason.
+			reason := strings.Join(fields[1:], " ")
+			if i := strings.Index(reason, "// want"); i >= 0 {
+				reason = strings.TrimSpace(reason[:i])
+			}
+			if reason == "" {
+				d.bad = fmt.Sprintf("missing reason: want //lint:allow %s <reason>", d.analyzer)
+			}
+			d.reason = reason
+			out = append(out, d)
+		}
+	}
+	return out
+}
+
+type allowKey struct {
+	file     string
+	line     int
+	analyzer string
+}
+
+// Run applies every analyzer to every package. Findings covered by a
+// well-formed //lint:allow directive (same line, or the line directly
+// below a standalone directive comment) are suppressed; malformed
+// directives are themselves reported under DirectiveAnalyzerName.
+func (r *Runner) Run(pkgs []*Package) ([]Diagnostic, error) {
+	known := map[string]bool{DirectiveAnalyzerName: true}
+	for _, a := range r.Analyzers {
+		known[a.Name] = true
+	}
+	for _, name := range r.KnownNames {
+		known[name] = true
+	}
+	var out []Diagnostic
+	for _, pkg := range pkgs {
+		var raw []Diagnostic
+		for _, a := range r.Analyzers {
+			pass := &Pass{
+				Analyzer:  a,
+				Fset:      pkg.Fset,
+				Files:     pkg.Syntax,
+				Pkg:       pkg.Types,
+				TypesInfo: pkg.TypesInfo,
+				diags:     &raw,
+			}
+			if err := a.Run(pass); err != nil {
+				return nil, fmt.Errorf("%s: %s: %w", a.Name, pkg.PkgPath, err)
+			}
+		}
+		allowed := map[allowKey]bool{}
+		for _, f := range pkg.Syntax {
+			for _, d := range parseDirectives(pkg.Fset, f) {
+				if d.bad == "" && !known[d.analyzer] {
+					d.bad = fmt.Sprintf("unknown analyzer %q in //lint:allow", d.analyzer)
+				}
+				if d.bad != "" {
+					out = append(out, Diagnostic{
+						Analyzer: DirectiveAnalyzerName,
+						Pos:      d.pos,
+						Message:  "malformed directive: " + d.bad,
+					})
+					continue
+				}
+				allowed[allowKey{d.pos.Filename, d.pos.Line, d.analyzer}] = true
+				allowed[allowKey{d.pos.Filename, d.pos.Line + 1, d.analyzer}] = true
+			}
+		}
+		for _, d := range raw {
+			if allowed[allowKey{d.Pos.Filename, d.Pos.Line, d.Analyzer}] {
+				continue
+			}
+			out = append(out, d)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		a, b := out[i], out[j]
+		if a.Pos.Filename != b.Pos.Filename {
+			return a.Pos.Filename < b.Pos.Filename
+		}
+		if a.Pos.Line != b.Pos.Line {
+			return a.Pos.Line < b.Pos.Line
+		}
+		if a.Pos.Column != b.Pos.Column {
+			return a.Pos.Column < b.Pos.Column
+		}
+		if a.Analyzer != b.Analyzer {
+			return a.Analyzer < b.Analyzer
+		}
+		return a.Message < b.Message
+	})
+	return out, nil
+}
+
+// Package is one loaded, type-checked package ready for analysis.
+type Package struct {
+	PkgPath   string
+	Fset      *token.FileSet
+	Syntax    []*ast.File
+	Types     *types.Package
+	TypesInfo *types.Info
+}

@@ -1,0 +1,149 @@
+package analysis
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"runtime"
+)
+
+// listPackage is the subset of `go list -json` output the loader needs.
+type listPackage struct {
+	ImportPath string
+	Dir        string
+	GoFiles    []string
+	CgoFiles   []string
+	Export     string
+	Standard   bool
+	DepOnly    bool
+}
+
+// Load resolves patterns with `go list -export -deps` run in dir, parses
+// every matched (non-dependency-only) package's production sources, and
+// type-checks them against the compiler's export data for their imports.
+// _test.go files are deliberately excluded: tests are the brute-force
+// harness the analyzers complement, and legitimately use raw goroutines,
+// wall-clock timeouts and unordered iteration.
+func Load(dir string, patterns ...string) ([]*Package, error) {
+	args := append([]string{
+		"list", "-export", "-deps",
+		"-json=ImportPath,Dir,GoFiles,CgoFiles,Export,Standard,DepOnly",
+	}, patterns...)
+	cmd := exec.Command("go", args...)
+	cmd.Dir = dir
+	var stdout, stderr bytes.Buffer
+	cmd.Stdout = &stdout
+	cmd.Stderr = &stderr
+	if err := cmd.Run(); err != nil {
+		return nil, fmt.Errorf("go list %v: %v\n%s", patterns, err, stderr.String())
+	}
+
+	exports := map[string]string{}
+	var targets []listPackage
+	dec := json.NewDecoder(&stdout)
+	for {
+		var p listPackage
+		if err := dec.Decode(&p); err == io.EOF {
+			break
+		} else if err != nil {
+			return nil, fmt.Errorf("go list: decoding output: %w", err)
+		}
+		if p.Export != "" {
+			exports[p.ImportPath] = p.Export
+		}
+		if !p.DepOnly && !p.Standard {
+			targets = append(targets, p)
+		}
+	}
+
+	fset := token.NewFileSet()
+	imp := &exportImporter{
+		base: importer.ForCompiler(fset, "gc", func(path string) (io.ReadCloser, error) {
+			exp, ok := exports[path]
+			if !ok {
+				return nil, fmt.Errorf("no export data for %q", path)
+			}
+			return os.Open(exp)
+		}),
+	}
+
+	var pkgs []*Package
+	for _, p := range targets {
+		if len(p.CgoFiles) > 0 {
+			return nil, fmt.Errorf("%s: cgo packages are not supported", p.ImportPath)
+		}
+		if len(p.GoFiles) == 0 {
+			continue
+		}
+		var files []*ast.File
+		for _, name := range p.GoFiles {
+			f, err := parser.ParseFile(fset, filepath.Join(p.Dir, name), nil, parser.ParseComments|parser.SkipObjectResolution)
+			if err != nil {
+				return nil, err
+			}
+			files = append(files, f)
+		}
+		info := &types.Info{
+			Types:      map[ast.Expr]types.TypeAndValue{},
+			Defs:       map[*ast.Ident]types.Object{},
+			Uses:       map[*ast.Ident]types.Object{},
+			Implicits:  map[ast.Node]types.Object{},
+			Selections: map[*ast.SelectorExpr]*types.Selection{},
+			Scopes:     map[ast.Node]*types.Scope{},
+		}
+		var typeErrs []error
+		conf := types.Config{
+			Importer: imp,
+			Sizes:    types.SizesFor("gc", runtime.GOARCH),
+			Error:    func(err error) { typeErrs = append(typeErrs, err) },
+		}
+		tpkg, _ := conf.Check(p.ImportPath, fset, files, info)
+		if len(typeErrs) > 0 {
+			return nil, fmt.Errorf("%s: type checking failed: %w", p.ImportPath, errors.Join(typeErrs...))
+		}
+		pkgs = append(pkgs, &Package{
+			PkgPath:   p.ImportPath,
+			Fset:      fset,
+			Syntax:    files,
+			Types:     tpkg,
+			TypesInfo: info,
+		})
+	}
+	return pkgs, nil
+}
+
+// exportImporter fronts the gc export-data importer with the special-case
+// "unsafe" package, which has no export file.
+type exportImporter struct {
+	base types.Importer
+}
+
+func (i *exportImporter) Import(path string) (*types.Package, error) {
+	if path == "unsafe" {
+		return types.Unsafe, nil
+	}
+	if from, ok := i.base.(types.ImporterFrom); ok {
+		return from.ImportFrom(path, "", 0)
+	}
+	return i.base.Import(path)
+}
+
+func (i *exportImporter) ImportFrom(path, srcDir string, mode types.ImportMode) (*types.Package, error) {
+	if path == "unsafe" {
+		return types.Unsafe, nil
+	}
+	if from, ok := i.base.(types.ImporterFrom); ok {
+		return from.ImportFrom(path, srcDir, mode)
+	}
+	return i.base.Import(path)
+}

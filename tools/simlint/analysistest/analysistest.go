@@ -1,0 +1,123 @@
+// Package analysistest runs one analyzer over fixture packages and
+// checks its diagnostics against "// want" expectations, mirroring
+// golang.org/x/tools/go/analysis/analysistest closely enough that
+// fixtures are written the same way: a comment on the flagged line holds
+// one or more quoted or backquoted regular expressions, each of which
+// must match exactly one diagnostic reported on that line.
+package analysistest
+
+import (
+	"fmt"
+	"path/filepath"
+	"regexp"
+	"strconv"
+	"strings"
+	"testing"
+
+	"repro/tools/simlint/analysis"
+)
+
+// TestData returns the absolute path of the calling test's testdata/src
+// tree (the fixture module root).
+func TestData(t *testing.T) string {
+	t.Helper()
+	dir, err := filepath.Abs(filepath.Join("testdata", "src"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return dir
+}
+
+// expectation is one unmatched want pattern.
+type expectation struct {
+	file string
+	line int
+	rx   *regexp.Regexp
+	raw  string
+}
+
+// wantRx extracts the expectation patterns from one comment's raw text.
+// The marker may lead the comment or follow other content (so a
+// lint:allow directive and a want can share a line).
+var wantMarker = regexp.MustCompile(`//\s*want\s`)
+
+// patternRx matches one quoted or backquoted expectation.
+var patternRx = regexp.MustCompile("`[^`]*`|\"(?:[^\"\\\\]|\\\\.)*\"")
+
+// Run loads patterns from the fixture module rooted at dir, applies a
+// (with //lint:allow suppression active, so fixtures can exercise it) and
+// compares diagnostics to the // want expectations.
+func Run(t *testing.T, dir string, a *analysis.Analyzer, patterns ...string) {
+	t.Helper()
+	pkgs, err := analysis.Load(dir, patterns...)
+	if err != nil {
+		t.Fatalf("loading fixtures: %v", err)
+	}
+	if len(pkgs) == 0 {
+		t.Fatalf("no fixture packages matched %v", patterns)
+	}
+	diags, err := (&analysis.Runner{Analyzers: []*analysis.Analyzer{a}}).Run(pkgs)
+	if err != nil {
+		t.Fatalf("running %s: %v", a.Name, err)
+	}
+
+	var wants []*expectation
+	for _, pkg := range pkgs {
+		for _, f := range pkg.Syntax {
+			for _, cg := range f.Comments {
+				for _, c := range cg.List {
+					m := wantMarker.FindStringIndex(c.Text)
+					if m == nil {
+						continue
+					}
+					pos := pkg.Fset.Position(c.Pos())
+					for _, raw := range patternRx.FindAllString(c.Text[m[1]:], -1) {
+						pat := strings.Trim(raw, "`")
+						if strings.HasPrefix(raw, `"`) {
+							var err error
+							pat, err = strconv.Unquote(raw)
+							if err != nil {
+								t.Fatalf("%s:%d: bad want pattern %s: %v", pos.Filename, pos.Line, raw, err)
+							}
+						}
+						rx, err := regexp.Compile(pat)
+						if err != nil {
+							t.Fatalf("%s:%d: bad want regexp %q: %v", pos.Filename, pos.Line, pat, err)
+						}
+						wants = append(wants, &expectation{pos.Filename, pos.Line, rx, pat})
+					}
+				}
+			}
+		}
+	}
+
+	for _, d := range diags {
+		if !consumeWant(wants, d) {
+			t.Errorf("%s: unexpected diagnostic: %s (%s)", posString(d), d.Message, d.Analyzer)
+		}
+	}
+	for _, w := range wants {
+		if w.rx != nil {
+			t.Errorf("%s:%d: no diagnostic matching %q", w.file, w.line, w.raw)
+		}
+	}
+}
+
+// consumeWant marks the first unconsumed expectation on the diagnostic's
+// line that matches its message.
+func consumeWant(wants []*expectation, d analysis.Diagnostic) bool {
+	for _, w := range wants {
+		if w.rx == nil || w.file != d.Pos.Filename || w.line != d.Pos.Line {
+			continue
+		}
+		if w.rx.MatchString(d.Message) {
+			w.rx = nil
+			return true
+		}
+	}
+	return false
+}
+
+func posString(d analysis.Diagnostic) string {
+	return fmt.Sprintf("%s:%d:%d", d.Pos.Filename, d.Pos.Line, d.Pos.Column)
+}

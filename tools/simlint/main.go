@@ -1,0 +1,94 @@
+// Command simlint machine-checks this repo's determinism and
+// kernel-discipline house rules: wall-clock/global-rand use in sim-facing
+// packages, map iteration feeding ordered sinks, concurrency invisible to
+// the sim kernel, dropped errors on fault-carrying surfaces, and
+// order-sensitive float accumulation. Suppress an intentional finding
+// with a same-line (or directly-preceding) comment:
+//
+//	//lint:allow <analyzer> <one-line reason>
+//
+// Usage: simlint [-only a,b] [packages]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"repro/tools/simlint/analysis"
+	"repro/tools/simlint/rules"
+)
+
+func main() {
+	only := flag.String("only", "", "comma-separated subset of analyzers to run (default: all)")
+	flag.Usage = func() {
+		fmt.Fprintf(flag.CommandLine.Output(), "usage: simlint [-only a,b] [packages]\n\nanalyzers:\n")
+		for _, a := range rules.All {
+			doc, _, _ := strings.Cut(a.Doc, "\n")
+			fmt.Fprintf(flag.CommandLine.Output(), "  %-18s %s\n", a.Name, doc)
+		}
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+	n, err := run(".", flag.Args(), *only, os.Stdout)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "simlint:", err)
+		os.Exit(2)
+	}
+	if n > 0 {
+		os.Exit(1)
+	}
+}
+
+// run loads patterns relative to dir, applies the selected analyzers and
+// prints findings to w; it returns the finding count. Extracted from main
+// so tests drive it directly (the cmd/dxt-parser pattern).
+func run(dir string, patterns []string, only string, w io.Writer) (int, error) {
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	analyzers := rules.All
+	if only != "" {
+		keep := map[string]bool{}
+		for _, name := range strings.Split(only, ",") {
+			keep[strings.TrimSpace(name)] = true
+		}
+		analyzers = nil
+		for _, a := range rules.All {
+			if keep[a.Name] {
+				analyzers = append(analyzers, a)
+				delete(keep, a.Name)
+			}
+		}
+		for name := range keep {
+			return 0, fmt.Errorf("unknown analyzer %q", name)
+		}
+	}
+	pkgs, err := analysis.Load(dir, patterns...)
+	if err != nil {
+		return 0, err
+	}
+	known := make([]string, len(rules.All))
+	for i, a := range rules.All {
+		known[i] = a.Name
+	}
+	diags, err := (&analysis.Runner{Analyzers: analyzers, KnownNames: known}).Run(pkgs)
+	if err != nil {
+		return 0, err
+	}
+	base, err := filepath.Abs(dir)
+	if err != nil {
+		return 0, err
+	}
+	for _, d := range diags {
+		name := d.Pos.Filename
+		if rel, err := filepath.Rel(base, name); err == nil && !strings.HasPrefix(rel, "..") {
+			name = rel
+		}
+		fmt.Fprintf(w, "%s:%d:%d: %s (%s)\n", name, d.Pos.Line, d.Pos.Column, d.Message, d.Analyzer)
+	}
+	return len(diags), nil
+}

@@ -1,0 +1,124 @@
+package rules
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"repro/tools/simlint/analysis"
+)
+
+// errDropTargets are the package path fragments whose error returns carry
+// fault-injection semantics: the darshan encoders/decoders, the vfs
+// syscall surface, and tfio's retrying read paths.
+var errDropTargets = []string{
+	"internal/darshan",
+	"internal/vfs",
+	"internal/tf/tfio",
+}
+
+// ErrDrop flags discarded error returns from the darshan, vfs and tfio
+// surfaces.
+var ErrDrop = &analysis.Analyzer{
+	Name: "errdrop",
+	Doc: `flag discarded errors from the darshan/vfs/tfio surfaces.
+
+Since the transient-fault work, error returns on these paths are how an
+injected EIO, a brownout timeout or a corrupt log surfaces. Dropping one
+(bare call statement, or assigning the error position to _) silently
+swallows an injected fault and turns a fault-ladder experiment into a
+false positive. Handle the error or annotate the site with its reason.`,
+	Run: runErrDrop,
+}
+
+func runErrDrop(pass *analysis.Pass) error {
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.ExprStmt:
+				if call, ok := ast.Unparen(n.X).(*ast.CallExpr); ok {
+					checkDroppedCall(pass, call)
+				}
+			case *ast.DeferStmt:
+				checkDroppedCall(pass, n.Call)
+			case *ast.AssignStmt:
+				checkBlankError(pass, n)
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// guardedCallee returns the called function and its error-result indices
+// when the callee belongs to a guarded surface.
+func guardedCallee(info *types.Info, call *ast.CallExpr) (*types.Func, []int) {
+	fn := calleeFunc(info, call)
+	if fn == nil || fn.Pkg() == nil || !pathMatches(fn.Pkg().Path(), errDropTargets) {
+		return nil, nil
+	}
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok {
+		return nil, nil
+	}
+	errType := types.Universe.Lookup("error").Type()
+	var idx []int
+	for i := 0; i < sig.Results().Len(); i++ {
+		if types.Identical(sig.Results().At(i).Type(), errType) {
+			idx = append(idx, i)
+		}
+	}
+	if len(idx) == 0 {
+		return nil, nil
+	}
+	return fn, idx
+}
+
+// checkDroppedCall flags a guarded call whose results are discarded
+// entirely (expression or defer statement).
+func checkDroppedCall(pass *analysis.Pass, call *ast.CallExpr) {
+	fn, _ := guardedCallee(pass.TypesInfo, call)
+	if fn == nil {
+		return
+	}
+	pass.Reportf(call.Pos(), "discarded error from %s.%s: errors on this surface carry fault-injection semantics; handle it or annotate why it cannot fail here", fn.Pkg().Name(), fn.Name())
+}
+
+// checkBlankError flags "x, _ := guardedCall()" where the blank occupies
+// an error result position, and "_ = err" discarding an error value that
+// is already in hand (the indirection that hides a dropped guarded error
+// from the call-site checks).
+func checkBlankError(pass *analysis.Pass, as *ast.AssignStmt) {
+	if len(as.Rhs) != 1 {
+		return
+	}
+	call, ok := ast.Unparen(as.Rhs[0]).(*ast.CallExpr)
+	if !ok {
+		if as.Tok != token.ASSIGN || len(as.Lhs) != 1 {
+			return
+		}
+		id, isIdent := as.Lhs[0].(*ast.Ident)
+		if !isIdent || id.Name != "_" {
+			return
+		}
+		t := pass.TypesInfo.Types[as.Rhs[0]].Type
+		if t == nil || !types.Identical(t, types.Universe.Lookup("error").Type()) {
+			return
+		}
+		pass.Reportf(as.Pos(), "error value discarded via blank assignment; handle it or annotate why it is safe to drop")
+		return
+	}
+	fn, idx := guardedCallee(pass.TypesInfo, call)
+	if fn == nil {
+		return
+	}
+	for _, i := range idx {
+		if i >= len(as.Lhs) {
+			continue
+		}
+		if id, ok := as.Lhs[i].(*ast.Ident); ok && id.Name == "_" {
+			pass.Reportf(as.Pos(), "discarded error from %s.%s: errors on this surface carry fault-injection semantics; handle it or annotate why it cannot fail here", fn.Pkg().Name(), fn.Name())
+			return
+		}
+	}
+}

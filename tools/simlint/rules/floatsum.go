@@ -1,0 +1,74 @@
+package rules
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"repro/tools/simlint/analysis"
+)
+
+// FloatSum flags floating-point accumulation inside map iteration.
+var FloatSum = &analysis.Analyzer{
+	Name: "floatsum",
+	Doc: `flag float accumulation over map iteration.
+
+Floating-point addition is not associative: summing float64 values in
+random map order changes the low bits run to run, which is enough to
+break byte-identical JSON metrics and golden comparisons even when the
+"mathematical" result is the same. Accumulate over sorted keys (or in
+int64 units, as the Darshan counters do) instead.`,
+	Run: runFloatSum,
+}
+
+func runFloatSum(pass *analysis.Pass) error {
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			rs, ok := n.(*ast.RangeStmt)
+			if !ok {
+				return true
+			}
+			if !isMapType(pass.TypesInfo.Types[rs.X].Type) {
+				return true
+			}
+			ast.Inspect(rs.Body, func(m ast.Node) bool {
+				as, ok := m.(*ast.AssignStmt)
+				if !ok {
+					return true
+				}
+				if accum, name := floatAccumulation(pass.TypesInfo, as); accum {
+					pass.Reportf(as.Pos(), "float accumulation into %q inside map iteration: float addition is not associative, so random map order changes the low bits run to run; accumulate over sorted keys", name)
+				}
+				return true
+			})
+			return true
+		})
+	}
+	return nil
+}
+
+// floatAccumulation recognizes "x += v", "x -= v", "x *= v" and
+// "x = x + v" forms with a floating-point left-hand side.
+func floatAccumulation(info *types.Info, as *ast.AssignStmt) (bool, string) {
+	if len(as.Lhs) != 1 || len(as.Rhs) != 1 {
+		return false, ""
+	}
+	lhs := as.Lhs[0]
+	if !isFloat(info.Types[lhs].Type) {
+		return false, ""
+	}
+	name := types.ExprString(lhs)
+	switch as.Tok {
+	case token.ADD_ASSIGN, token.SUB_ASSIGN, token.MUL_ASSIGN:
+		return true, name
+	case token.ASSIGN:
+		if bin, ok := ast.Unparen(as.Rhs[0]).(*ast.BinaryExpr); ok {
+			if bin.Op == token.ADD || bin.Op == token.SUB || bin.Op == token.MUL {
+				if types.ExprString(ast.Unparen(bin.X)) == name || types.ExprString(ast.Unparen(bin.Y)) == name {
+					return true, name
+				}
+			}
+		}
+	}
+	return false, ""
+}

@@ -1,0 +1,188 @@
+package rules
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+
+	"repro/tools/simlint/analysis"
+)
+
+// orderedSinkCalls are function/method names whose output order is
+// observable: serialized bytes, log lines, merged records, rendered rows.
+// Feeding them straight from map iteration bakes the runtime's random
+// iteration order into the artifact.
+var orderedSinkCalls = map[string]bool{
+	"Write":       true,
+	"WriteString": true,
+	"WriteByte":   true,
+	"WriteRune":   true,
+	"Fprintf":     true,
+	"Fprint":      true,
+	"Fprintln":    true,
+	"Printf":      true,
+	"Print":       true,
+	"Println":     true,
+	"Log":         true,
+	"Logf":        true,
+	"Merge":       true,
+}
+
+// MapOrder flags map iteration whose body feeds an ordered sink, or
+// collects into a slice that is never sorted afterwards in the same
+// function.
+var MapOrder = &analysis.Analyzer{
+	Name: "maporder",
+	Doc: `flag map iteration that reaches an ordered sink without a sort.
+
+Go randomizes map iteration order per run. Writing to an io.Writer, a
+log, a merge, or an experiment row from inside 'range m' — or appending
+keys/values to a slice that is never sorted before use — makes serialized
+output differ run to run, exactly the bug class the ACCESS re-rank
+tie-break test pins by brute force. Collect, sort, then emit (see
+experiments.sortedKeys).`,
+	Run: runMapOrder,
+}
+
+func runMapOrder(pass *analysis.Pass) error {
+	for _, f := range pass.Files {
+		walkStack(f, func(n ast.Node, stack []ast.Node) bool {
+			rs, ok := n.(*ast.RangeStmt)
+			if !ok {
+				return true
+			}
+			if !isMapType(pass.TypesInfo.Types[rs.X].Type) {
+				return true
+			}
+			checkMapRange(pass, rs, enclosingFuncBody(stack))
+			return true
+		})
+	}
+	return nil
+}
+
+func checkMapRange(pass *analysis.Pass, rs *ast.RangeStmt, fnBody *ast.BlockStmt) {
+	// Direct sinks: one report per range statement, naming the first.
+	reported := false
+	taints := map[types.Object]bool{}
+	ast.Inspect(rs.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.CallExpr:
+			if name := calleeName(n); !reported && orderedSinkCalls[name] {
+				pass.Reportf(rs.Pos(), "map iteration reaches ordered sink %s; output depends on random map order — iterate sorted keys instead", name)
+				reported = true
+			}
+		case *ast.AssignStmt:
+			if obj := appendTarget(pass.TypesInfo, n); obj != nil && declaredOutside(obj, rs) {
+				taints[obj] = true
+			}
+		}
+		return true
+	})
+
+	// Collected slices: accept any later sort-ish call mentioning the
+	// slice in the same function.
+	for obj := range taints {
+		if fnBody != nil && sortedAfter(pass.TypesInfo, fnBody, rs, obj) {
+			continue
+		}
+		pass.Reportf(rs.Pos(), "slice %q built from map iteration is never sorted in this function; its order differs run to run before it reaches any sink", obj.Name())
+	}
+}
+
+// calleeName returns the syntactic name a call invokes (method or
+// function), or "".
+func calleeName(call *ast.CallExpr) string {
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.SelectorExpr:
+		return fun.Sel.Name
+	case *ast.Ident:
+		return fun.Name
+	}
+	return ""
+}
+
+// appendTarget returns the object a statement of the form "x = append(x,
+// ...)" (or x.f = append(x.f, ...)) grows, or nil.
+func appendTarget(info *types.Info, as *ast.AssignStmt) types.Object {
+	if as.Tok != token.ASSIGN || len(as.Lhs) != 1 || len(as.Rhs) != 1 {
+		return nil
+	}
+	call, ok := as.Rhs[0].(*ast.CallExpr)
+	if !ok || !isBuiltin(info, call, "append") {
+		return nil
+	}
+	switch lhs := ast.Unparen(as.Lhs[0]).(type) {
+	case *ast.Ident:
+		return info.Uses[lhs]
+	case *ast.SelectorExpr:
+		return info.Uses[lhs.Sel]
+	}
+	return nil
+}
+
+// declaredOutside reports whether obj was declared outside the range
+// statement's body (so its contents survive the loop).
+func declaredOutside(obj types.Object, rs *ast.RangeStmt) bool {
+	return obj.Pos() < rs.Pos() || obj.Pos() >= rs.End()
+}
+
+// sortedAfter reports whether any sorting call that mentions obj appears
+// after the range statement in the enclosing function.
+func sortedAfter(info *types.Info, fnBody *ast.BlockStmt, rs *ast.RangeStmt, obj types.Object) bool {
+	found := false
+	ast.Inspect(fnBody, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok || found || call.Pos() < rs.End() {
+			return !found
+		}
+		if isSortCall(info, call) && mentionsObject(info, call, obj) {
+			found = true
+		}
+		return !found
+	})
+	return found
+}
+
+// sortPkgFuncs are the sort-package entry points that actually sort
+// (Search* and IsSorted* do not).
+var sortPkgFuncs = map[string]bool{
+	"Sort":        true,
+	"Stable":      true,
+	"Slice":       true,
+	"SliceStable": true,
+	"Strings":     true,
+	"Ints":        true,
+	"Float64s":    true,
+}
+
+// isSortCall recognizes sort.* / slices.Sort* calls and, as a concession
+// to local helpers (insertion sorts, custom orderings), any callee whose
+// name contains "sort".
+func isSortCall(info *types.Info, call *ast.CallExpr) bool {
+	if fn := calleeFunc(info, call); fn != nil && fn.Pkg() != nil {
+		switch fn.Pkg().Path() {
+		case "sort":
+			return sortPkgFuncs[fn.Name()]
+		case "slices":
+			return strings.HasPrefix(fn.Name(), "Sort")
+		}
+	}
+	return strings.Contains(strings.ToLower(calleeName(call)), "sort")
+}
+
+// mentionsObject reports whether any identifier inside the call's
+// arguments resolves to obj.
+func mentionsObject(info *types.Info, call *ast.CallExpr, obj types.Object) bool {
+	found := false
+	for _, arg := range call.Args {
+		ast.Inspect(arg, func(n ast.Node) bool {
+			if id, ok := n.(*ast.Ident); ok && info.Uses[id] == obj {
+				found = true
+			}
+			return !found
+		})
+	}
+	return found
+}

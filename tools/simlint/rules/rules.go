@@ -1,0 +1,139 @@
+// Package rules holds simlint's five analyzers: the machine-checked form
+// of this repo's determinism and kernel-discipline house rules. Every
+// figure, Darshan counter and DXT timeline in the repro is verified
+// byte-identical across serial/parallel runs and against committed
+// goldens; these analyzers turn the conventions that make that possible
+// into build failures instead of golden-drift archaeology.
+package rules
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+
+	"repro/internal/sim"
+	"repro/tools/simlint/analysis"
+)
+
+// All is the full analyzer set, in the order findings are documented.
+var All = []*analysis.Analyzer{
+	Wallclock,
+	MapOrder,
+	KernelDiscipline,
+	ErrDrop,
+	FloatSum,
+}
+
+// SimFacing lists the package path fragments whose code runs under (or
+// produces input for) the simulated clock. Wall-clock time and the
+// process-global rand source are forbidden there: virtual time comes from
+// the kernel, randomness from a seeded *rand.Rand, so that every run of a
+// scenario is bit-identical. cmd/tfdarshan is included because it
+// orchestrates sim runs and prints result tables; its one deliberate
+// wall-clock probe carries a //lint:allow.
+var SimFacing = []string{
+	"internal/sim",
+	"internal/vfs",
+	"internal/tf",
+	"internal/distributed",
+	"internal/dataservice",
+	"internal/prefetch",
+	"internal/darshan",
+	"internal/experiments",
+	"internal/workload",
+	"cmd/tfdarshan",
+}
+
+// KernelBlessed is the kerneldiscipline whitelist. It aliases the sim
+// package's own exported list so the analyzer configuration and the code
+// it governs cannot drift apart; tests may temporarily extend it.
+var KernelBlessed = sim.BlessedExternalGoroutines
+
+// pathMatches reports whether pkgPath contains pattern on package-path
+// segment boundaries, so "internal/tf" matches "repro/internal/tf/tfdata"
+// but not "repro/internal/tfx".
+func pathMatches(pkgPath string, patterns []string) bool {
+	for _, pat := range patterns {
+		if strings.Contains("/"+pkgPath+"/", "/"+pat+"/") {
+			return true
+		}
+	}
+	return false
+}
+
+// calleeFunc resolves the static *types.Func a call invokes, or nil for
+// builtins, conversions, and calls through function values.
+func calleeFunc(info *types.Info, call *ast.CallExpr) *types.Func {
+	var obj types.Object
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.SelectorExpr:
+		obj = info.Uses[fun.Sel]
+	case *ast.Ident:
+		obj = info.Uses[fun]
+	}
+	fn, _ := obj.(*types.Func)
+	return fn
+}
+
+// isBuiltin reports whether the call invokes the named builtin.
+func isBuiltin(info *types.Info, call *ast.CallExpr, name string) bool {
+	id, ok := ast.Unparen(call.Fun).(*ast.Ident)
+	if !ok || id.Name != name {
+		return false
+	}
+	_, ok = info.Uses[id].(*types.Builtin)
+	return ok
+}
+
+// isMapType reports whether t's core type is a map.
+func isMapType(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	_, ok := t.Underlying().(*types.Map)
+	return ok
+}
+
+// isFloat reports whether t's core type is a floating-point scalar.
+func isFloat(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsFloat != 0
+}
+
+// walkStack is ast.Inspect with an enclosing-node stack: fn receives each
+// node along with its ancestors (outermost first, n excluded).
+func walkStack(root ast.Node, fn func(n ast.Node, stack []ast.Node) bool) {
+	var stack []ast.Node
+	ast.Inspect(root, func(n ast.Node) bool {
+		if n == nil {
+			stack = stack[:len(stack)-1]
+			return true
+		}
+		keep := fn(n, stack)
+		stack = append(stack, n)
+		if !keep {
+			// Still push/pop symmetrically: Inspect will not descend,
+			// so pop immediately.
+			stack = stack[:len(stack)-1]
+			return false
+		}
+		return true
+	})
+}
+
+// enclosingFuncBody returns the body of the innermost function literal or
+// declaration on the stack, or nil at package scope.
+func enclosingFuncBody(stack []ast.Node) *ast.BlockStmt {
+	for i := len(stack) - 1; i >= 0; i-- {
+		switch f := stack[i].(type) {
+		case *ast.FuncDecl:
+			return f.Body
+		case *ast.FuncLit:
+			return f.Body
+		}
+	}
+	return nil
+}

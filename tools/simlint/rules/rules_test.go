@@ -1,0 +1,63 @@
+package rules_test
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/tools/simlint/analysistest"
+	"repro/tools/simlint/rules"
+)
+
+func TestWallclock(t *testing.T) {
+	analysistest.Run(t, analysistest.TestData(t), rules.Wallclock,
+		"fixture/internal/tf/clock", "fixture/wallclock/...")
+}
+
+func TestMapOrder(t *testing.T) {
+	analysistest.Run(t, analysistest.TestData(t), rules.MapOrder, "fixture/maporder")
+}
+
+func TestKernelDiscipline(t *testing.T) {
+	old := rules.KernelBlessed
+	rules.KernelBlessed = append(append([]string{}, old...),
+		"fixture/kerneldiscipline/blessedpkg",
+		"fixture/kerneldiscipline/blessedfile/blessed.go",
+	)
+	defer func() { rules.KernelBlessed = old }()
+	analysistest.Run(t, analysistest.TestData(t), rules.KernelDiscipline,
+		"fixture/kerneldiscipline/...")
+}
+
+func TestErrDrop(t *testing.T) {
+	analysistest.Run(t, analysistest.TestData(t), rules.ErrDrop,
+		"fixture/errdrop", "fixture/internal/darshan", "fixture/internal/vfs", "fixture/internal/tf/tfio")
+}
+
+func TestFloatSum(t *testing.T) {
+	analysistest.Run(t, analysistest.TestData(t), rules.FloatSum, "fixture/floatsum")
+}
+
+// TestBlessedEntriesResolve pins every whitelist entry the
+// kerneldiscipline analyzer consumes to an existing package directory or
+// file, so a refactor that moves the parallel harness cannot silently
+// turn an entry into a no-op that blesses nothing.
+func TestBlessedEntriesResolve(t *testing.T) {
+	root := filepath.Join("..", "..", "..")
+	for _, entry := range rules.KernelBlessed {
+		rel, ok := strings.CutPrefix(entry, "repro/")
+		if !ok {
+			t.Errorf("entry %q does not start with the module path", entry)
+			continue
+		}
+		info, err := os.Stat(filepath.Join(root, filepath.FromSlash(rel)))
+		if err != nil {
+			t.Errorf("entry %q resolves to nothing: %v", entry, err)
+			continue
+		}
+		if strings.HasSuffix(rel, ".go") == info.IsDir() {
+			t.Errorf("entry %q: file entries must name .go files, package entries directories", entry)
+		}
+	}
+}

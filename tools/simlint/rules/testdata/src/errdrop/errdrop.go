@@ -1,0 +1,40 @@
+// Package errdrop is a fixture for the discarded-error analyzer: calls
+// into the guarded surfaces (darshan, vfs, tfio) must not drop their
+// error results.
+package errdrop
+
+import (
+	"bytes"
+	"fmt"
+
+	"fixture/internal/darshan"
+	"fixture/internal/tf/tfio"
+	"fixture/internal/vfs"
+)
+
+func Use(l *darshan.Log, fs *vfs.FS) {
+	var b bytes.Buffer
+	l.Write(&b)                // want `discarded error from darshan\.Write`
+	_ = l.Write(&b)            // want `discarded error from darshan\.Write`
+	_, _ = darshan.ReadLog(&b) // want `discarded error from darshan\.ReadLog`
+	n, _ := fs.Pread(nil, 0)   // want `discarded error from vfs\.Pread`
+	_, _ = tfio.ReadFile("x")  // want `discarded error from tfio\.ReadFile`
+	defer fs.Close()           // want `discarded error from vfs\.Close`
+	fmt.Println(n) // ok: fmt is not a guarded surface
+
+	if _, err := tfio.ReadFile("y"); err != nil { // ok: error handled
+		panic(err)
+	}
+	if log, err := darshan.ReadLog(&b); err == nil { // ok: error handled
+		_ = log
+	}
+}
+
+func Indirect(fs *vfs.FS) {
+	_, err := fs.Pread(nil, 0)
+	_ = err // want `error value discarded via blank assignment`
+}
+
+func Allowed(fs *vfs.FS) {
+	_ = fs.Close() //lint:allow errdrop best-effort teardown, nothing to report to
+}

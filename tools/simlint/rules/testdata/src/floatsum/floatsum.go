@@ -1,0 +1,58 @@
+// Package floatsum is a fixture for the float-accumulation analyzer.
+package floatsum
+
+func SumMap(m map[string]float64) float64 {
+	var total float64
+	for _, v := range m {
+		total += v // want `float accumulation into "total" inside map iteration`
+	}
+	return total
+}
+
+func SumExplicit(m map[string]float64) float64 {
+	total := 0.0
+	for _, v := range m {
+		total = total + v // want `float accumulation into "total" inside map iteration`
+	}
+	return total
+}
+
+func Product(m map[string]float64) float64 {
+	p := 1.0
+	for _, v := range m {
+		p *= v // want `float accumulation into "p" inside map iteration`
+	}
+	return p
+}
+
+func SumSlice(xs []float64) float64 {
+	var total float64
+	for _, v := range xs {
+		total += v // ok: slice order is deterministic
+	}
+	return total
+}
+
+func CountMap(m map[string]float64) int {
+	n := 0
+	for range m {
+		n++ // ok: integer count is order-independent
+	}
+	return n
+}
+
+func SumInts(m map[string]int64) int64 {
+	var total int64
+	for _, v := range m {
+		total += v // ok: integer addition is associative
+	}
+	return total
+}
+
+func Allowed(m map[string]float64) float64 {
+	var total float64
+	for _, v := range m {
+		total += v //lint:allow floatsum rounded to whole milliseconds before serialization
+	}
+	return total
+}

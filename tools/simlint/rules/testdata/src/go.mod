@@ -1,0 +1,3 @@
+module fixture
+
+go 1.24

@@ -1,0 +1,16 @@
+// Package darshan mimics the guarded encoder/decoder surface for the
+// errdrop fixture: its import path suffix matches internal/darshan.
+package darshan
+
+import "io"
+
+type Log struct{}
+
+func (l *Log) Write(w io.Writer) error {
+	_, err := w.Write([]byte("log"))
+	return err
+}
+
+func ReadLog(r io.Reader) (*Log, error) {
+	return &Log{}, nil
+}

@@ -1,0 +1,37 @@
+// Package clock is a wallclock fixture: its import path places it inside
+// the sim-facing surface (internal/tf), so wall-clock reads and the
+// process-global rand source must be flagged.
+package clock
+
+import (
+	"math/rand"
+	"time"
+)
+
+func Step(seed int64) time.Duration {
+	start := time.Now()                // want `time\.Now reads the host wall clock`
+	time.Sleep(time.Millisecond)       // want `time\.Sleep reads the host wall clock`
+	elapsed := time.Since(start)       // want `time\.Since reads the host wall clock`
+	rand.Seed(seed)                    // want `math/rand\.Seed draws from the process-global source`
+	n := rand.Intn(10)                 // want `math/rand\.Intn draws from the process-global source`
+	rng := rand.New(rand.NewSource(seed)) // ok: explicit seeded source
+	n += rng.Intn(10)                  // ok: method on a local *rand.Rand
+	_ = n
+	return elapsed
+}
+
+func Allowed() time.Time {
+	return time.Now() //lint:allow wallclock fixture exercises suppression on the same line
+}
+
+func Deadline(d time.Duration) <-chan time.Time {
+	return time.After(d) // want `time\.After reads the host wall clock`
+}
+
+func Missing() time.Time {
+	return time.Now() /*lint:allow wallclock*/ // want `time\.Now reads the host wall clock` `malformed directive: missing reason`
+}
+
+func Unknown() time.Time {
+	return time.Now() //lint:allow wallclok typo-means-no-suppression // want `time\.Now reads the host wall clock` `unknown analyzer "wallclok"`
+}

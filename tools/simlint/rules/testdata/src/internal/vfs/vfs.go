@@ -1,0 +1,8 @@
+// Package vfs mimics the guarded syscall surface for the errdrop fixture.
+package vfs
+
+type FS struct{}
+
+func (*FS) Pread(p []byte, off int64) (int, error) { return len(p), nil }
+
+func (*FS) Close() error { return nil }

@@ -1,0 +1,7 @@
+// blessed.go is whitelisted by file name in the test's KernelBlessed;
+// other.go in the same package is not.
+package blessedfile
+
+func Background(work func()) {
+	go work() // ok: this file is blessed
+}

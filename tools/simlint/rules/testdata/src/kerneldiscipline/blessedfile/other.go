@@ -1,0 +1,5 @@
+package blessedfile
+
+func Sneaky(work func()) {
+	go work() // want `raw goroutine is invisible to the sim kernel`
+}

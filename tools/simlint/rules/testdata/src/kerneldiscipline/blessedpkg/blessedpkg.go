@@ -1,0 +1,20 @@
+// Package blessedpkg is whitelisted wholesale in the test's
+// KernelBlessed: raw concurrency here is the implementation, not an
+// escape hatch, so nothing is flagged.
+package blessedpkg
+
+import "sync"
+
+func Pool(work []func()) {
+	var wg sync.WaitGroup // ok: whole package blessed
+	done := make(chan struct{}, len(work))
+	for _, fn := range work {
+		wg.Add(1)
+		go func() { // ok: whole package blessed
+			defer wg.Done()
+			fn()
+			done <- struct{}{}
+		}()
+	}
+	wg.Wait()
+}

@@ -1,0 +1,74 @@
+// Package maporder is a fixture for the map-iteration-order analyzer.
+package maporder
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+)
+
+// Render writes straight out of map iteration: the serialized bytes
+// depend on random map order.
+func Render(w io.Writer, m map[string]int) {
+	for k, v := range m { // want `map iteration reaches ordered sink Fprintf`
+		fmt.Fprintf(w, "%s=%d\n", k, v)
+	}
+}
+
+// Keys is the canonical benign pattern: collect, sort, then use.
+func Keys(m map[string]int) []string {
+	out := make([]string, 0, len(m))
+	for k := range m { // ok: out is sorted below
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Leak hands map keys to the caller in iteration order.
+func Leak(m map[string]int) []string {
+	var out []string
+	for k := range m { // want `slice "out" built from map iteration is never sorted`
+		out = append(out, k)
+	}
+	return out
+}
+
+// SortedLocally uses a local helper whose name marks it as a sort.
+func SortedLocally(m map[string]int) []string {
+	var out []string
+	for k := range m { // ok: sortAscending covers it
+		out = append(out, k)
+	}
+	sortAscending(out)
+	return out
+}
+
+func sortAscending(xs []string) { sort.Strings(xs) }
+
+// RenderSlice iterates a slice: order is deterministic, writes are fine.
+func RenderSlice(w io.Writer, xs []string) {
+	var b strings.Builder
+	for _, x := range xs { // ok: slice iteration is ordered
+		b.WriteString(x)
+	}
+	_, _ = io.WriteString(w, b.String())
+}
+
+// Tally writes into another map: no ordered sink involved.
+func Tally(m map[string]int) map[string]int {
+	out := map[string]int{}
+	for k, v := range m { // ok: map-to-map has no observable order
+		out[k] = v
+	}
+	return out
+}
+
+// Allowed demonstrates suppression with a standalone directive above.
+func Allowed(w io.Writer, m map[string]int) {
+	//lint:allow maporder debug dump, order is irrelevant to its one caller
+	for k := range m {
+		fmt.Fprintln(w, k)
+	}
+}

@@ -1,0 +1,12 @@
+// Package notsim sits outside the sim-facing surface: wall-clock use is
+// legal here (host-side drivers report real elapsed time).
+package notsim
+
+import (
+	"math/rand"
+	"time"
+)
+
+func Elapsed() time.Time { return time.Now() } // ok: not a sim-facing package
+
+func Roll() int { return rand.Intn(6) } // ok: not a sim-facing package

@@ -1,0 +1,83 @@
+package rules
+
+import (
+	"go/ast"
+	"go/types"
+
+	"repro/tools/simlint/analysis"
+)
+
+// wallclockTimeFuncs are the package-level time functions that read or
+// wait on the host's wall clock. time.Duration arithmetic and constants
+// stay legal; only calls that observe real time are banned.
+var wallclockTimeFuncs = map[string]bool{
+	"Now":       true,
+	"Sleep":     true,
+	"Since":     true,
+	"Until":     true,
+	"After":     true,
+	"AfterFunc": true,
+	"Tick":      true,
+	"NewTimer":  true,
+	"NewTicker": true,
+}
+
+// wallclockRandCtors are the math/rand constructors that build explicit,
+// seedable sources; every other package-level rand function draws from
+// the process-global source.
+var wallclockRandCtors = map[string]bool{
+	"New":        true,
+	"NewSource":  true,
+	"NewZipf":    true,
+	"NewPCG":     true, // math/rand/v2
+	"NewChaCha8": true, // math/rand/v2
+}
+
+// Wallclock forbids wall-clock reads and process-global randomness in
+// sim-facing packages.
+var Wallclock = &analysis.Analyzer{
+	Name: "wallclock",
+	Doc: `forbid wall-clock time and global rand in sim-facing packages.
+
+Simulated results are byte-identical across runs and hosts only because
+every timestamp comes from the kernel's virtual clock (sim.Kernel.Now /
+sim.Thread.Now) and every random draw from a *rand.Rand seeded by the
+scenario. time.Now/Sleep/Since/... and the process-global math/rand
+functions reintroduce the host into the simulation and silently break
+bit-identity.`,
+	Run: runWallclock,
+}
+
+func runWallclock(pass *analysis.Pass) error {
+	if !pathMatches(pass.Pkg.Path(), SimFacing) {
+		return nil
+	}
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			fn := calleeFunc(pass.TypesInfo, call)
+			if fn == nil || fn.Pkg() == nil {
+				return true
+			}
+			switch fn.Pkg().Path() {
+			case "time":
+				if wallclockTimeFuncs[fn.Name()] {
+					pass.Reportf(call.Pos(), "time.%s reads the host wall clock; sim-facing code must take virtual time from the kernel (sim.Thread.Now / sim.Kernel.Now)", fn.Name())
+				}
+			case "math/rand", "math/rand/v2":
+				sig, ok := fn.Type().(*types.Signature)
+				if !ok || sig.Recv() != nil {
+					return true // methods on *rand.Rand etc. are fine
+				}
+				if !wallclockRandCtors[fn.Name()] {
+					pass.Reportf(call.Pos(), "math/rand.%s draws from the process-global source; sim-facing code must use a seeded *rand.Rand (rand.New(rand.NewSource(seed)))", fn.Name())
+				}
+			}
+			return true
+		})
+	}
+	return nil
+}
